@@ -1,0 +1,38 @@
+"""Benchmark fixtures: the full-scale experiment context, built once.
+
+Each benchmark regenerates one paper table/figure and writes its rendered
+text to ``benchmarks/results/<id>.txt`` so EXPERIMENTS.md can be checked
+against fresh output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The full-scale context (600-AS world, paper-shaped budgets)."""
+    from repro.experiments.world import get_context
+
+    return get_context("full")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_report(results_dir):
+    def _save(report):
+        path = results_dir / f"{report.experiment_id}.txt"
+        path.write_text(str(report) + "\n", encoding="utf-8")
+        return report
+
+    return _save

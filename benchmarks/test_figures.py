@@ -1,0 +1,93 @@
+"""Benchmarks regenerating the paper's Figures 3–10 at full scale."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+
+
+def _regenerate(benchmark, ctx, experiment_id):
+    return benchmark.pedantic(
+        run_experiment, args=(experiment_id, ctx), rounds=1, iterations=1
+    )
+
+
+def test_fig3_country_distribution(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig3")
+    save_report(report)
+    shares = dict(report.data["shares"])
+    # Asia-heavy skew: India and China in the global top 4 (paper: 27/20 %).
+    top4 = [country for country, _ in report.data["shares"][:4]]
+    assert "IND" in top4 and "CHN" in top4
+    assert report.data["countries"] >= 20
+
+
+def test_fig4_response_classes(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig4")
+    save_report(report)
+    shares = report.data["shares"]
+    # Echo-share ordering: hitlist > plain BGP > the artificial partitions.
+    assert shares["hitlist-64"]["echo"] > shares["bgp-plain"]["echo"] * 0.9
+    for name in ("bgp-48", "bgp-64", "route6-64"):
+        assert shares[name]["error"] > 0.75
+        assert shares[name]["echo"] < shares["hitlist-64"]["echo"]
+
+
+def test_fig5_sra_vs_random(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig5")
+    save_report(report)
+    advantages = report.data["advantages"]
+    mean_advantage = sum(advantages) / len(advantages)
+    # Paper: ~10 % more router IPs with SRA probing, every scan.
+    assert 0.02 < mean_advantage < 0.6
+    assert all(a > 0 for a in advantages)
+    assert report.data["sra_exclusive"] > 0
+    # Echo populations stay stable across scans (no rate limiting).
+    echo = [row["sra_echo_routers"] for row in report.data["per_epoch"]]
+    mean_echo = sum(echo) / len(echo)
+    assert all(abs(count - mean_echo) / mean_echo < 0.25 for count in echo)
+
+
+def test_fig6_visibility_and_stability(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig6")
+    save_report(report)
+    visibility = report.data["visibility"]
+    # Paper: >70 % of SRA-discovered routers never answer direct probes.
+    assert visibility["never"] > 0.6
+    assert visibility["always"] < 0.4
+    stability = report.data["stability"]
+    # Paper: >=66 % same router on re-probing, <=7 % changed.
+    assert stability[-1]["same"] >= 0.6
+    assert stability[-1]["changed"] <= 0.08
+
+
+def test_fig7_as_overlap(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig7")
+    save_report(report)
+    # Paper: >99 % of SRA ASes appear in at least one other source.
+    assert report.data["sra_as_coverage"] > 0.95
+
+
+def test_fig8_loops_and_amplification(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig8")
+    save_report(report)
+    data = report.data
+    assert data["looping_slash48s"] > 100
+    assert data["looping_routers"] > 10
+    # The majority of looping routers loop few subnets; a heavy tail loops
+    # orders of magnitude more (Fig. 8b).
+    ccdf = dict(data["loops_per_router_ccdf"])
+    assert max(v for v, _ in data["loops_per_router_ccdf"]) >= 8
+    # Amplification exists, and extreme factors are rare (Fig. 8a).
+    if data["amplifying_routers"]:
+        amp = data["amplification_ccdf"]
+        assert amp[0][1] == 1.0
+        assert amp[-1][1] <= 0.5 or len(amp) == 1
+
+
+def test_fig10_network_types(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "fig10")
+    save_report(report)
+    per_source = report.data["per_source_type_shares"]
+    # Paper: SRA router IPs overwhelmingly in ISP networks (>80 %).
+    assert per_source["sra"]["isp"] > 0.6
+    assert per_source["ixp-flows"]["isp"] > 0.4

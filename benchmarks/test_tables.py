@@ -1,0 +1,68 @@
+"""Benchmarks regenerating the paper's Tables 1–4 at full scale.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark produces
+the table once (rounds=1 — these are campaigns, not microbenchmarks),
+asserts the paper-shape property the table is about, and writes the
+rendered text to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+
+
+def _regenerate(benchmark, ctx, experiment_id):
+    return benchmark.pedantic(
+        run_experiment, args=(experiment_id, ctx), rounds=1, iterations=1
+    )
+
+
+def test_table1_methods_overview(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "table1")
+    save_report(report)
+    data = report.data
+    # SRA discovers a large router population; the hitlist holds end hosts.
+    assert data["sra_routers"] > 0
+    assert data["hitlist_hosts"] > data["ark_addresses"]
+
+
+def test_table2_input_sets(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "table2")
+    save_report(report)
+    rows = {row["source"]: row for row in report.data["rows"]}
+    # Paper shape: hitlist /64 discovery rate ~10 % dominates all other
+    # /64-style inputs (<1 %); plain BGP has high rate, tiny volume.
+    assert rows["hitlist-64"]["discovery_rate"] > 0.05
+    for source in ("bgp-48", "bgp-64", "route6-64"):
+        assert rows[source]["discovery_rate"] < rows["hitlist-64"]["discovery_rate"]
+    assert rows["hitlist-64"]["router_ips"] == max(
+        rows[s]["router_ips"] for s in ("hitlist-64", "bgp-48", "bgp-64", "route6-64")
+    )
+
+
+def test_table3_top_ases_and_overlap(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "table3")
+    save_report(report)
+    exclusives = report.data["exclusive_fractions"]
+    # Paper: 97–99.9 % of SRA addresses appear in no other source.
+    assert exclusives["sra"] > 0.9
+    table = report.data["table3"]
+    # IXP flows are far more concentrated than SRA (43 % vs 11 %).
+    assert table["ixp-flows"][0][1] > table["sra"][0][1]
+
+
+def test_table4_loop_countries(benchmark, ctx, save_report):
+    report = _regenerate(benchmark, ctx, "table4")
+    save_report(report)
+    loops = report.data["loops"]
+    assert loops, "no looping countries observed"
+    top_countries = [row["country"] for row in loops[:3]]
+    # Brazil leads the looping-subnet count in the paper (26 %).
+    assert "BRA" in top_countries
+    amplification = report.data["amplification"]
+    if amplification:
+        max_amps = {row["country"]: row["max_amplification"] for row in amplification}
+        # Mega-amplifiers (>10k) only in DEU/USA per the generator priors.
+        for country, max_amp in max_amps.items():
+            if max_amp > 10_000:
+                assert country in ("DEU", "USA")

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Comparing SRA probing to community datasets (§5, Table 3, Fig. 7).
+
+Runs the SRA survey plus the four comparison datasets — CAIDA-Ark-style
+traceroutes, RIPE-Atlas-style traceroutes, a TUM-style hitlist, and
+sampled IXP flow data — then reports IP-level and AS-level overlap.
+
+Run:  python examples/dataset_comparison.py
+"""
+
+from repro import SRASurvey, SurveyConfig, build_world, tiny_config
+from repro.analysis import SourceComparison, format_percent, render_table
+from repro.datasets import (
+    AddressDataset,
+    harvest_hitlist,
+    published_alias_list,
+    run_ark_campaign,
+    run_atlas_campaign,
+    run_ixp_capture,
+)
+from repro.metadata import ASNMapper
+
+
+def main() -> None:
+    world = build_world(tiny_config(seed=19))
+    hitlist = harvest_hitlist(world)
+    mapper = ASNMapper(world.bgp)
+
+    print("running the SRA survey ...")
+    survey = SRASurvey(
+        world,
+        hitlist,
+        alias_list=published_alias_list(world),
+        config=SurveyConfig(max_bgp_48=20_000, max_bgp_64=10_000, max_route6=15_000),
+    ).run()
+    sra = AddressDataset(name="sra", addresses=survey.all_router_ips())
+
+    print("collecting comparison datasets ...")
+    ark = run_ark_campaign(world, max_prefixes=80)
+    atlas = run_atlas_campaign(world, hitlist, max_targets=400)
+    ixp = run_ixp_capture(world, packets=500_000, sample_rate=64)
+    tum = AddressDataset(name="tum-hitlist", addresses=set(hitlist.addresses()))
+
+    comparison = SourceComparison(mapper=mapper)
+    for dataset in (sra, ark, atlas, ixp.as_dataset(), tum):
+        comparison.add(dataset)
+
+    print()
+    print(
+        render_table(
+            ("source", "addresses", "ASes", "exclusive"),
+            [
+                (
+                    name,
+                    len(dataset),
+                    len(dataset.asns(mapper)),
+                    format_percent(comparison.exclusive_fraction(name)),
+                )
+                for name, dataset in comparison.datasets.items()
+            ],
+            title="Dataset sizes and exclusivity",
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            ("source", "top AS", "share"),
+            [
+                (name, f"AS{rows[0][0]}", format_percent(rows[0][1]))
+                for name, rows in comparison.table3(1).items()
+                if rows
+            ],
+            title="Most-represented AS per source (Table 3, rank 1)",
+        )
+    )
+
+    print()
+    upset = sorted(
+        comparison.upset_counts().items(), key=lambda kv: kv[1], reverse=True
+    )
+    print(
+        render_table(
+            ("AS-set combination", "count"),
+            [("+".join(sorted(combo)), count) for combo, count in upset[:8]],
+            title="AS-level overlap (Fig. 7 UpSet data, top 8)",
+        )
+    )
+    print(
+        "\nSRA AS-level coverage by other sources: "
+        + format_percent(comparison.as_coverage("sra"), 2)
+    )
+    print(
+        "SRA IP-level exclusivity: "
+        + format_percent(comparison.exclusive_fraction("sra"), 2)
+        + "  (paper: 97-99.9% of SRA addresses are new)"
+    )
+
+
+if __name__ == "__main__":
+    main()

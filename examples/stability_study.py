@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Stability study: why SRA probing beats random probing (Figs. 5 & 6).
+
+Re-scans the same hitlist-derived /64 subnets several times with both
+methods, then re-probes the discovered routers directly, reproducing the
+paper's three headline stability findings:
+
+* SRA discovers ~10 % more router IPs per scan than random probing,
+* the Echo-reply population is stable (no ICMPv6 error rate limiting),
+* most discovered routers never answer a direct Echo request, yet keep
+  answering through their SRA address.
+
+Run:  python examples/stability_study.py
+"""
+
+from repro import build_world, tiny_config
+from repro.analysis import format_count, format_percent, render_table
+from repro.core import run_sra_vs_random, run_stability, run_visibility
+from repro.datasets import harvest_hitlist
+
+
+def main() -> None:
+    world = build_world(tiny_config(seed=23))
+    hitlist = harvest_hitlist(world)
+    targets = hitlist.unique_slash64s()
+    print(f"probing {len(targets)} hitlist-derived /64 subnets, 4 scans ...")
+
+    series = run_sra_vs_random(world, targets, epochs=4)
+    rows = [
+        (
+            scan.epoch + 1,
+            format_count(len(scan.router_ips)),
+            format_count(len(scan.echo_router_ips)),
+            format_count(len(random_scan.router_ips)),
+        )
+        for scan, random_scan in zip(series.sra, series.random)
+    ]
+    print()
+    print(
+        render_table(
+            ("scan", "SRA routers", "SRA echo", "random routers"),
+            rows,
+            title="SRA vs random probing (Fig. 5)",
+        )
+    )
+    advantages = series.advantage_per_epoch()
+    print(
+        f"\nmean SRA advantage: "
+        f"{format_percent(sum(advantages) / len(advantages))} "
+        f"(paper: ~10%)"
+    )
+    print(
+        f"router IPs seen only by SRA probing: "
+        f"{format_count(len(series.sra_exclusive()))}"
+    )
+
+    print("\nre-probing the same SRA addresses across 6 epochs (Fig. 6b) ...")
+    stability = run_stability(world, targets, epochs=6)
+    print(
+        render_table(
+            ("scan", "same router", "changed", "no response"),
+            [
+                (
+                    index + 1,
+                    format_percent(epoch["same"]),
+                    format_percent(epoch["changed"]),
+                    format_percent(epoch["no_response"]),
+                )
+                for index, epoch in enumerate(stability.epochs)
+            ],
+        )
+    )
+
+    discovered = set(series.sra[0].router_ips)
+    print(f"\ndirectly probing {len(discovered)} routers daily for 7 days (Fig. 6a) ...")
+    visibility = run_visibility(world, discovered, days=7)
+    for name, share in visibility.shares().items():
+        print(f"  {name:<10} {format_percent(share)}")
+    print("  (paper: >70% of SRA-discovered routers never answer directly)")
+
+
+if __name__ == "__main__":
+    main()

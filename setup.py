@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs on offline hosts without `wheel`."""
+from setuptools import setup
+
+setup()

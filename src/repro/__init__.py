@@ -1,0 +1,36 @@
+"""Reproduction of "Scanning the IPv6 Internet Using Subnet-Router Anycast
+Probing" (Koch et al., CoNEXT 2025) on a simulated IPv6 Internet.
+
+Quickstart::
+
+    from repro import build_world, SimulationEngine, ZMapV6Scanner
+    from repro.addr import IPv6Prefix, stage1_targets
+
+    world = build_world()
+    engine = SimulationEngine(world)
+    scanner = ZMapV6Scanner(engine)
+    result = scanner.scan(list(stage1_targets(world.bgp.prefixes())))
+    print(len(result.sources()), "router IPs discovered")
+
+See ``repro.experiments`` for the per-table/figure reproduction harness.
+"""
+
+from .core import SRASurvey, SurveyConfig
+from .netsim import SimulationEngine
+from .scanner import ScanConfig, ZMapV6Scanner
+from .topology import World, WorldConfig, build_world, tiny_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SRASurvey",
+    "ScanConfig",
+    "SimulationEngine",
+    "SurveyConfig",
+    "World",
+    "WorldConfig",
+    "ZMapV6Scanner",
+    "build_world",
+    "tiny_config",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""IPv6 address primitives: parsing, prefixes, SRA construction, partitioning."""
+
+from .ipv6 import (
+    ADDRESS_BITS,
+    MAX_ADDRESS,
+    AddressError,
+    IPv6Prefix,
+    common_prefix_length,
+    format_address,
+    host_bits,
+    network_of,
+    parse_address,
+    prefix_mask,
+)
+from .partition import (
+    STAGE2_LENGTH,
+    STAGE3_LENGTH,
+    hitlist_targets,
+    route6_targets,
+    stage1_targets,
+    stage2_targets,
+    stage3_targets,
+)
+from .permutation import CyclicPermutation, next_prime
+from .randomgen import random_address_in, random_targets, random_targets_for_sras
+from .sra import is_sra_candidate, sra_address, sra_of
+
+__all__ = [
+    "ADDRESS_BITS",
+    "MAX_ADDRESS",
+    "AddressError",
+    "IPv6Prefix",
+    "CyclicPermutation",
+    "STAGE2_LENGTH",
+    "STAGE3_LENGTH",
+    "common_prefix_length",
+    "format_address",
+    "hitlist_targets",
+    "host_bits",
+    "is_sra_candidate",
+    "network_of",
+    "next_prime",
+    "parse_address",
+    "prefix_mask",
+    "random_address_in",
+    "random_targets",
+    "random_targets_for_sras",
+    "route6_targets",
+    "sra_address",
+    "sra_of",
+    "stage1_targets",
+    "stage2_targets",
+    "stage3_targets",
+]

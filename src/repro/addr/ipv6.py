@@ -1,0 +1,164 @@
+"""Integer-backed IPv6 address and prefix primitives.
+
+The scanner and simulator handle millions of addresses, so the hot-path
+representation is a plain ``int`` in ``[0, 2**128)``.  :class:`IPv6Prefix`
+is a small immutable value object; free functions operate directly on ints
+so tight loops never allocate.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import Iterator
+
+ADDRESS_BITS = 128
+MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def parse_address(text: str) -> int:
+    """Parse an IPv6 address in any RFC 4291 textual form to an int."""
+    try:
+        return int(ipaddress.IPv6Address(text))
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise AddressError(f"invalid IPv6 address: {text!r}") from exc
+
+
+def format_address(value: int) -> str:
+    """Render an int as compressed IPv6 text (RFC 5952)."""
+    if not 0 <= value <= MAX_ADDRESS:
+        raise AddressError(f"address out of range: {value:#x}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def prefix_mask(length: int) -> int:
+    """Network mask for a prefix of ``length`` bits, as an int."""
+    if not 0 <= length <= ADDRESS_BITS:
+        raise AddressError(f"invalid prefix length: {length}")
+    if length == 0:
+        return 0
+    return MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - length)) - 1)
+
+
+def network_of(address: int, length: int) -> int:
+    """The network (lowest) address of ``address``'s ``/length`` prefix."""
+    return address & prefix_mask(length)
+
+
+def host_bits(address: int, length: int) -> int:
+    """The host part of ``address`` under a ``/length`` prefix."""
+    return address & ~prefix_mask(length) & MAX_ADDRESS
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class IPv6Prefix:
+    """An IPv6 prefix (network, length) with the network bits normalised.
+
+    Ordering is (network, length), which groups covering prefixes before
+    their more specifics and keeps sorted prefix lists trie-friendly.
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= ADDRESS_BITS:
+            raise AddressError(f"invalid prefix length: {self.length}")
+        if not 0 <= self.network <= MAX_ADDRESS:
+            raise AddressError(f"network out of range: {self.network:#x}")
+        if self.network & ~prefix_mask(self.length) & MAX_ADDRESS:
+            raise AddressError(
+                f"host bits set in {format_address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv6Prefix":
+        """Parse ``2001:db8::/32`` notation; host bits must be zero."""
+        if "/" not in text:
+            raise AddressError(f"missing prefix length: {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        try:
+            length = int(len_text)
+        except ValueError as exc:
+            raise AddressError(f"invalid prefix length: {len_text!r}") from exc
+        return cls(parse_address(addr_text), length)
+
+    @classmethod
+    def of(cls, address: int, length: int) -> "IPv6Prefix":
+        """Prefix of the given length containing ``address``."""
+        return cls(network_of(address, length), length)
+
+    def __str__(self) -> str:
+        return f"{format_address(self.network)}/{self.length}"
+
+    def __contains__(self, address: int) -> bool:
+        return network_of(address, self.length) == self.network
+
+    @property
+    def first(self) -> int:
+        """The lowest address in the prefix (== the SRA address)."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """The highest address in the prefix."""
+        return self.network | (~prefix_mask(self.length) & MAX_ADDRESS)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (ADDRESS_BITS - self.length)
+
+    def covers(self, other: "IPv6Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return (
+            other.length >= self.length
+            and network_of(other.network, self.length) == self.network
+        )
+
+    def supernet(self, length: int) -> "IPv6Prefix":
+        """The covering prefix of the given (shorter or equal) length."""
+        if length > self.length:
+            raise AddressError(
+                f"supernet length {length} more specific than /{self.length}"
+            )
+        return IPv6Prefix.of(self.network, length)
+
+    def subnets(self, new_length: int) -> Iterator["IPv6Prefix"]:
+        """Iterate all subnets of ``new_length`` in address order.
+
+        Careful: a /32 has 2**16 /48 subnets and 2**32 /64 subnets; callers
+        partitioning to /64 should stream, not materialise.
+        """
+        if new_length < self.length:
+            raise AddressError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        if new_length > ADDRESS_BITS:
+            raise AddressError(f"invalid prefix length: {new_length}")
+        step = 1 << (ADDRESS_BITS - new_length)
+        for network in range(self.network, self.last + 1, step):
+            yield IPv6Prefix(network, new_length)
+
+    def nth_subnet(self, new_length: int, index: int) -> "IPv6Prefix":
+        """The ``index``-th /``new_length`` subnet without iteration."""
+        if new_length < self.length:
+            raise AddressError(
+                f"cannot subnet /{self.length} into shorter /{new_length}"
+            )
+        count = 1 << (new_length - self.length)
+        if not 0 <= index < count:
+            raise AddressError(f"subnet index {index} out of range (0..{count - 1})")
+        step = 1 << (ADDRESS_BITS - new_length)
+        return IPv6Prefix(self.network + index * step, new_length)
+
+
+def common_prefix_length(a: int, b: int) -> int:
+    """Length of the longest common prefix of two addresses."""
+    diff = a ^ b
+    if diff == 0:
+        return ADDRESS_BITS
+    return ADDRESS_BITS - diff.bit_length()

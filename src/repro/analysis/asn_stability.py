@@ -1,0 +1,90 @@
+"""Prevalence and stability of ASNs and prefixes across scans (§4).
+
+The paper reports that over six consecutive scans ≈87 % of the announced
+prefixes containing discovered router IPs remain unchanged, yielding a
+stable AS set of ≈96 %.  This module computes exactly that: map each
+scan's router IPs to BGP prefixes and origin ASNs, then measure how much
+of each set persists from scan to scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..bgp.table import BGPTable
+from ..scanner.records import ScanResult
+
+
+@dataclass(slots=True)
+class SetStability:
+    """Per-epoch persistence of a set-valued observation."""
+
+    sets: list[set] = field(default_factory=list)
+
+    def add(self, observed: set) -> None:
+        self.sets.append(observed)
+
+    def persistence(self) -> list[float]:
+        """Fraction of each scan's set already present in the previous."""
+        shares = []
+        for previous, current in zip(self.sets, self.sets[1:]):
+            if current:
+                shares.append(len(previous & current) / len(current))
+        return shares
+
+    def stable_core_share(self) -> float:
+        """|intersection of all scans| / |union of all scans|."""
+        if not self.sets:
+            return 0.0
+        union = set().union(*self.sets)
+        if not union:
+            return 0.0
+        core = set(self.sets[0])
+        for observed in self.sets[1:]:
+            core &= observed
+        return len(core) / len(union)
+
+    def mean_persistence(self) -> float:
+        shares = self.persistence()
+        return sum(shares) / len(shares) if shares else 0.0
+
+
+@dataclass(slots=True)
+class ASNStabilityReport:
+    """Prefix- and AS-level stability over a scan series."""
+
+    prefixes: SetStability = field(default_factory=SetStability)
+    asns: SetStability = field(default_factory=SetStability)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "prefix_persistence": self.prefixes.mean_persistence(),
+            "asn_persistence": self.asns.mean_persistence(),
+            "prefix_stable_core": self.prefixes.stable_core_share(),
+            "asn_stable_core": self.asns.stable_core_share(),
+        }
+
+
+def asn_stability(
+    scans: Sequence[ScanResult], bgp: BGPTable
+) -> ASNStabilityReport:
+    """Map each scan's router IPs to prefixes/ASNs and measure stability.
+
+    The paper's numbers (≈87 % prefixes, ≈96 % ASes stable) come from the
+    six hitlist-/64 re-scans; pass that series here.
+    """
+    report = ASNStabilityReport()
+    for scan in scans:
+        prefixes = set()
+        asns = set()
+        for source in scan.sources():
+            prefix = bgp.matching_prefix(source)
+            if prefix is not None:
+                prefixes.add(prefix)
+            asn = bgp.origin_of(source)
+            if asn is not None:
+                asns.add(asn)
+        report.prefixes.add(prefixes)
+        report.asns.add(asns)
+    return report

@@ -1,0 +1,107 @@
+"""Cross-dataset comparison (§5, Table 3, Fig. 7/9).
+
+Compares the SRA-discovered address set against the traceroute datasets,
+the hitlist, and IXP flows — at the IP level (tiny overlaps) and at the AS
+level (large overlaps), including the UpSet-style intersection counts
+behind Figs. 7 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from ..datasets.common import AddressDataset
+from ..metadata.asn import ASNMapper
+
+
+@dataclass(slots=True)
+class SourceComparison:
+    """A bundle of datasets under one ASN mapper."""
+
+    mapper: ASNMapper
+    datasets: dict[str, AddressDataset] = field(default_factory=dict)
+
+    def add(self, dataset: AddressDataset) -> None:
+        self.datasets[dataset.name] = dataset
+
+    # ---------------- IP level ---------------- #
+
+    def ip_overlap(self, a: str, b: str) -> int:
+        return len(self.datasets[a].overlap(self.datasets[b]))
+
+    def ip_overlap_matrix(self) -> dict[tuple[str, str], int]:
+        matrix: dict[tuple[str, str], int] = {}
+        names = sorted(self.datasets)
+        for a, b in combinations(names, 2):
+            matrix[(a, b)] = self.ip_overlap(a, b)
+        return matrix
+
+    def exclusive_fraction(self, name: str) -> float:
+        """Fraction of ``name``'s addresses found in no other dataset.
+
+        The paper reports 97–99.9 % of SRA addresses are new (§1, §5).
+        """
+        dataset = self.datasets[name]
+        if not dataset.addresses:
+            return 0.0
+        others = [d for n, d in self.datasets.items() if n != name]
+        return len(dataset.exclusive(others)) / len(dataset.addresses)
+
+    # ---------------- AS level ---------------- #
+
+    def as_sets(self) -> dict[str, set[int]]:
+        return {
+            name: dataset.asns(self.mapper)
+            for name, dataset in self.datasets.items()
+        }
+
+    def as_coverage(self, name: str) -> float:
+        """Fraction of ``name``'s ASes that appear in at least one other
+        dataset (paper: >99 % of SRA ASes are shared)."""
+        sets = self.as_sets()
+        own = sets[name]
+        if not own:
+            return 0.0
+        others: set[int] = set()
+        for other_name, as_set in sets.items():
+            if other_name != name:
+                others |= as_set
+        return len(own & others) / len(own)
+
+    def upset_counts(self) -> dict[frozenset[str], int]:
+        """Exclusive intersection sizes for every dataset combination.
+
+        This is the data behind an UpSet plot: each AS is counted once,
+        under the exact combination of datasets containing it.
+        """
+        sets = self.as_sets()
+        membership: dict[int, frozenset[str]] = {}
+        for name, as_set in sets.items():
+            for asn in as_set:
+                current = membership.get(asn, frozenset())
+                membership[asn] = current | {name}
+        counts: dict[frozenset[str], int] = {}
+        for combination in membership.values():
+            counts[combination] = counts.get(combination, 0) + 1
+        return counts
+
+    def table3(self, n: int = 5) -> dict[str, list[tuple[int, float]]]:
+        """Top-N ASes per data source with address shares (Table 3)."""
+        return {
+            name: dataset.top_asns(self.mapper, n)
+            for name, dataset in self.datasets.items()
+        }
+
+    def highlighted_asns(self, reference: str = "sra", n: int = 5) -> set[int]:
+        """ASNs in the reference top-N that also appear in some other
+        source's top-N (the bold entries of Table 3)."""
+        table = self.table3(n)
+        if reference not in table:
+            return set()
+        reference_top = {asn for asn, _ in table[reference]}
+        others: set[int] = set()
+        for name, rows in table.items():
+            if name != reference:
+                others |= {asn for asn, _ in rows}
+        return reference_top & others

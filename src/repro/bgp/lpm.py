@@ -1,0 +1,99 @@
+"""Length-indexed longest-prefix match.
+
+The world's resolution index holds tens of thousands of /64 subnets plus a
+handful of other prefix lengths.  A per-bit trie would allocate millions of
+nodes; instead we keep one hash table per distinct prefix length and probe
+them longest-first — the classic "DIR" LPM scheme.  Lookups cost one dict
+probe per distinct length present (≈8 in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix, MAX_ADDRESS
+
+V = TypeVar("V")
+
+
+class LengthIndexedLPM(Generic[V]):
+    """Longest-prefix-match map optimised for few distinct lengths."""
+
+    def __init__(self) -> None:
+        self._by_length: dict[int, dict[int, V]] = {}
+        self._lengths_desc: list[int] = []
+        self._masks: list[int] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, prefix: IPv6Prefix, value: V) -> None:
+        table = self._by_length.get(prefix.length)
+        if table is None:
+            table = {}
+            self._by_length[prefix.length] = table
+            self._rebuild_lengths()
+        if prefix.network not in table:
+            self._size += 1
+        table[prefix.network] = value
+
+    def remove(self, prefix: IPv6Prefix) -> bool:
+        table = self._by_length.get(prefix.length)
+        if table is None or prefix.network not in table:
+            return False
+        del table[prefix.network]
+        self._size -= 1
+        if not table:
+            del self._by_length[prefix.length]
+            self._rebuild_lengths()
+        return True
+
+    def _rebuild_lengths(self) -> None:
+        self._lengths_desc = sorted(self._by_length, reverse=True)
+        self._masks = [
+            (MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - length)) - 1))
+            if length
+            else 0
+            for length in self._lengths_desc
+        ]
+
+    def get(self, prefix: IPv6Prefix, default: V | None = None) -> V | None:
+        table = self._by_length.get(prefix.length)
+        if table is None:
+            return default
+        return table.get(prefix.network, default)
+
+    def longest_match(self, address: int) -> tuple[IPv6Prefix, V] | None:
+        for length, mask in zip(self._lengths_desc, self._masks):
+            network = address & mask
+            table = self._by_length[length]
+            value = table.get(network)
+            if value is not None:
+                return IPv6Prefix(network, length), value
+        return None
+
+    def has_cover(self, prefix: IPv6Prefix, *, strict: bool = False) -> bool:
+        """True if a stored prefix covers ``prefix``.
+
+        With ``strict`` the cover must be a proper supernet (shorter).
+        """
+        for length, mask in zip(self._lengths_desc, self._masks):
+            if length > prefix.length or (strict and length == prefix.length):
+                continue
+            if (prefix.network & mask) in self._by_length[length]:
+                return True
+        return False
+
+    def all_matches(self, address: int) -> Iterator[tuple[IPv6Prefix, V]]:
+        """All stored prefixes containing ``address``, longest first."""
+        for length, mask in zip(self._lengths_desc, self._masks):
+            network = address & mask
+            table = self._by_length[length]
+            if network in table:
+                yield IPv6Prefix(network, length), table[network]
+
+    def items(self) -> Iterator[tuple[IPv6Prefix, V]]:
+        for length in sorted(self._by_length):
+            for network in sorted(self._by_length[length]):
+                yield IPv6Prefix(network, length), self._by_length[length][network]

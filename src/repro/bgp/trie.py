@@ -1,0 +1,181 @@
+"""Binary radix (Patricia-style) trie over IPv6 prefixes.
+
+This is the lookup structure behind both the BGP RIB and every simulated
+router's FIB.  It supports exact insert/remove, longest-prefix match, and
+covering/covered queries — the operations BGP processing and packet
+forwarding need.
+
+The trie is a plain binary trie keyed on address bits; at IPv6 scale in the
+simulator (tens of thousands of prefixes, lengths mostly 32–64) the depth is
+bounded and lookups are a few dozen integer operations.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list["_Node[V] | None"] = [None, None]
+        self.value: V | None = None
+        self.has_value = False
+
+
+def _bit(address: int, depth: int) -> int:
+    """The bit of ``address`` at ``depth`` (0 = most significant)."""
+    return (address >> (ADDRESS_BITS - 1 - depth)) & 1
+
+
+class PrefixTrie(Generic[V]):
+    """A map from :class:`IPv6Prefix` to values with LPM queries."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: IPv6Prefix) -> bool:
+        return self.get(prefix, _MISSING) is not _MISSING
+
+    def insert(self, prefix: IPv6Prefix, value: V) -> None:
+        """Insert or replace the value at ``prefix``."""
+        node = self._root
+        for depth in range(prefix.length):
+            bit = _bit(prefix.network, depth)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._size += 1
+        node.has_value = True
+        node.value = value
+
+    def get(self, prefix: IPv6Prefix, default: object = None) -> object:
+        """Exact-match lookup."""
+        node = self._node_at(prefix)
+        if node is None or not node.has_value:
+            return default
+        return node.value
+
+    def _node_at(self, prefix: IPv6Prefix) -> _Node[V] | None:
+        node = self._root
+        for depth in range(prefix.length):
+            child = node.children[_bit(prefix.network, depth)]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def remove(self, prefix: IPv6Prefix) -> bool:
+        """Remove an exact prefix; True if it was present.
+
+        Empty branches are pruned so long-lived tries do not leak nodes.
+        """
+        path: list[tuple[_Node[V], int]] = []
+        node = self._root
+        for depth in range(prefix.length):
+            bit = _bit(prefix.network, depth)
+            child = node.children[bit]
+            if child is None:
+                return False
+            path.append((node, bit))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        for parent, bit in reversed(path):
+            child = parent.children[bit]
+            assert child is not None
+            if child.has_value or child.children[0] or child.children[1]:
+                break
+            parent.children[bit] = None
+        return True
+
+    def longest_match(self, address: int) -> tuple[IPv6Prefix, V] | None:
+        """The most specific stored prefix containing ``address``."""
+        node = self._root
+        best: tuple[int, V] | None = None
+        depth = 0
+        while True:
+            if node.has_value:
+                best = (depth, node.value)  # type: ignore[arg-type]
+            if depth == ADDRESS_BITS:
+                break
+            child = node.children[_bit(address, depth)]
+            if child is None:
+                break
+            node = child
+            depth += 1
+        if best is None:
+            return None
+        length, value = best
+        return IPv6Prefix.of(address, length), value
+
+    def all_matches(self, address: int) -> Iterator[tuple[IPv6Prefix, V]]:
+        """All stored prefixes containing ``address``, shortest first."""
+        node = self._root
+        depth = 0
+        while True:
+            if node.has_value:
+                yield IPv6Prefix.of(address, depth), node.value  # type: ignore[misc]
+            if depth == ADDRESS_BITS:
+                return
+            child = node.children[_bit(address, depth)]
+            if child is None:
+                return
+            node = child
+            depth += 1
+
+    def covered_by(self, prefix: IPv6Prefix) -> Iterator[tuple[IPv6Prefix, V]]:
+        """All stored prefixes equal to or more specific than ``prefix``."""
+        start = self._node_at(prefix)
+        if start is None:
+            return
+        stack: list[tuple[_Node[V], int, int]] = [
+            (start, prefix.network, prefix.length)
+        ]
+        while stack:
+            node, network, length = stack.pop()
+            if node.has_value:
+                yield IPv6Prefix(network, length), node.value  # type: ignore[misc]
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    child_network = network | (
+                        bit << (ADDRESS_BITS - 1 - length)
+                    )
+                    stack.append((child, child_network, length + 1))
+
+    def has_cover(self, prefix: IPv6Prefix, *, strict: bool = False) -> bool:
+        """True if a stored prefix covers ``prefix``.
+
+        With ``strict`` the cover must be shorter (a proper supernet).
+        """
+        node = self._root
+        for depth in range(prefix.length):
+            if node.has_value:
+                return True
+            child = node.children[_bit(prefix.network, depth)]
+            if child is None:
+                return False
+            node = child
+        return node.has_value and not strict
+
+    def items(self) -> Iterator[tuple[IPv6Prefix, V]]:
+        """All (prefix, value) pairs in depth-first (address) order."""
+        yield from self.covered_by(IPv6Prefix(0, 0))

@@ -1,0 +1,81 @@
+"""The survey's alias filter (§3.1 "IPv6 Alias Resolution").
+
+Aliased networks answer Echo on *every* address, so their replies would
+masquerade as router discoveries.  The paper filters in two steps:
+
+1. drop replies whose source equals the probed SRA address — SRA addresses
+   are typically not assigned to hosts, so a reply *from* the ``::0``
+   address marks the subnet as aliased,
+2. drop replies whose source falls inside the community aliased-prefix
+   list (the TUM hitlist service's list).
+
+This is deliberately a cheap approximation (the paper accepts a small
+misclassification rate to keep scan performance); the trade-off is
+quantified by the alias ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hitlist.aliases import AliasedPrefixList
+from ..scanner.records import ScanRecord, ScanResult
+
+
+@dataclass(frozen=True, slots=True)
+class AliasFilterStats:
+    """How many records each filter rule dropped."""
+
+    kept: int
+    dropped_self_reply: int
+    dropped_alias_list: int
+
+    @property
+    def dropped(self) -> int:
+        return self.dropped_self_reply + self.dropped_alias_list
+
+
+def is_self_reply(record: ScanRecord) -> bool:
+    """Reply sourced from the probed SRA address itself."""
+    return record.is_echo and record.source == record.target
+
+
+def filter_aliased(
+    result: ScanResult,
+    alias_list: AliasedPrefixList | None = None,
+) -> tuple[ScanResult, AliasFilterStats]:
+    """Return a copy of ``result`` with alias artefacts removed.
+
+    Also drops *all* records of any target identified as aliased by rule 1
+    — once the subnet is known to answer on everything, none of its replies
+    are evidence of a router.
+    """
+    aliased_targets = {
+        record.target for record in result.records if is_self_reply(record)
+    }
+    kept: list[ScanRecord] = []
+    dropped_self = 0
+    dropped_list = 0
+    for record in result.records:
+        if record.target in aliased_targets:
+            dropped_self += 1
+            continue
+        if alias_list is not None and alias_list.contains_address(record.source):
+            dropped_list += 1
+            continue
+        kept.append(record)
+    filtered = ScanResult(
+        name=result.name,
+        epoch=result.epoch,
+        sent=result.sent,
+        lost=result.lost,
+        records=kept,
+        loops_observed=result.loops_observed,
+        duration=result.duration,
+    )
+    stats = AliasFilterStats(
+        kept=len(kept),
+        dropped_self_reply=dropped_self,
+        dropped_alias_list=dropped_list,
+    )
+    return filtered, stats

@@ -1,0 +1,130 @@
+"""One-call orchestration of the paper's whole measurement campaign.
+
+§3 of the paper describes a multi-part plan: scan every input set (at
+least twice), re-probe every discovered router address daily for a week,
+re-scan the hitlist /64 SRAs six times within two days, and compare
+against random probing.  :func:`run_measurement_plan` executes that plan
+over a world and returns every intermediate product plus the headline
+numbers (§4) in one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hitlist.aliases import AliasedPrefixList
+from ..hitlist.hitlist import Hitlist
+from ..topology.entities import World
+from .probing import (
+    ComparisonSeries,
+    StabilityReport,
+    VisibilityReport,
+    run_direct_discovery,
+    run_sra_vs_random,
+    run_stability,
+    run_visibility,
+)
+from .survey import SRASurvey, SurveyConfig, SurveyResult
+
+
+@dataclass(slots=True)
+class MeasurementPlan:
+    """The campaign's knobs (§3.2 scaled down)."""
+
+    survey_config: SurveyConfig = field(default_factory=SurveyConfig)
+    visibility_days: int = 7
+    stability_scans: int = 6
+    comparison_scans: int = 6
+    max_stability_targets: int = 20_000
+    max_visibility_routers: int = 20_000
+    run_comparison: bool = True
+
+
+@dataclass(slots=True)
+class CampaignReport:
+    """Everything the campaign produced."""
+
+    survey: SurveyResult
+    visibility: VisibilityReport
+    stability: StabilityReport
+    comparison: ComparisonSeries | None
+    direct_discovered: set[int]
+
+    @property
+    def router_ips(self) -> set[int]:
+        return self.survey.all_router_ips()
+
+    def headline(self) -> dict[str, float]:
+        """The paper's §4 headline metrics."""
+        metrics: dict[str, float] = {
+            "router_ips": float(len(self.router_ips)),
+            "never_answer_directly": self.visibility.shares()["never"],
+            "stable_same_router_last_scan": (
+                self.stability.epochs[-1]["same"] if self.stability.epochs else 0.0
+            ),
+        }
+        if self.comparison is not None:
+            advantages = self.comparison.advantage_per_epoch()
+            if advantages:
+                metrics["sra_advantage_over_random"] = sum(advantages) / len(
+                    advantages
+                )
+            metrics["sra_exclusive_routers"] = float(
+                len(self.comparison.sra_exclusive())
+            )
+        if self.direct_discovered:
+            # "SRA discovers 80 % more than targeting routers directly."
+            metrics["sra_gain_over_direct"] = (
+                len(self.router_ips) / len(self.direct_discovered) - 1.0
+            )
+        return metrics
+
+
+def run_measurement_plan(
+    world: World,
+    hitlist: Hitlist,
+    *,
+    alias_list: AliasedPrefixList | None = None,
+    plan: MeasurementPlan | None = None,
+) -> CampaignReport:
+    """Execute the full measurement plan over ``world``."""
+    import random
+
+    plan = plan or MeasurementPlan()
+    survey = SRASurvey(
+        world, hitlist, alias_list=alias_list, config=plan.survey_config
+    ).run()
+
+    router_ips = survey.all_router_ips()
+    visibility_targets = router_ips
+    if len(visibility_targets) > plan.max_visibility_routers:
+        visibility_targets = set(
+            random.Random(1).sample(
+                sorted(visibility_targets), plan.max_visibility_routers
+            )
+        )
+    visibility = run_visibility(
+        world, visibility_targets, days=plan.visibility_days
+    )
+
+    sra_targets = hitlist.unique_slash64s()
+    if len(sra_targets) > plan.max_stability_targets:
+        sra_targets = random.Random(2).sample(
+            sra_targets, plan.max_stability_targets
+        )
+    stability = run_stability(world, sra_targets, epochs=plan.stability_scans)
+
+    comparison = None
+    if plan.run_comparison:
+        comparison = run_sra_vs_random(
+            world, sra_targets, epochs=plan.comparison_scans
+        )
+
+    direct = run_direct_discovery(world, visibility_targets)
+    return CampaignReport(
+        survey=survey,
+        visibility=visibility,
+        stability=stability,
+        comparison=comparison,
+        direct_discovered=direct,
+    )

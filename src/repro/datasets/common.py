@@ -1,0 +1,53 @@
+"""Shared dataset container for the §5 comparisons."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..metadata.asn import ASNMapper
+
+
+@dataclass(slots=True)
+class AddressDataset:
+    """A named set of observed IPv6 addresses (one §5 data source)."""
+
+    name: str
+    addresses: set[int] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.addresses
+
+    def add(self, address: int) -> None:
+        self.addresses.add(address)
+
+    def update(self, addresses) -> None:
+        self.addresses.update(addresses)
+
+    def asns(self, mapper: ASNMapper) -> set[int]:
+        """Distinct origin ASNs of the dataset's addresses."""
+        return {
+            asn
+            for asn in (mapper.asn_of(address) for address in self.addresses)
+            if asn is not None
+        }
+
+    def asn_histogram(self, mapper: ASNMapper) -> Counter[int]:
+        return mapper.asn_histogram(self.addresses)
+
+    def top_asns(self, mapper: ASNMapper, n: int = 5) -> list[tuple[int, float]]:
+        """Table 3: top ASNs and their share of this dataset's addresses."""
+        return mapper.top_asns(self.addresses, n)
+
+    def overlap(self, other: "AddressDataset") -> set[int]:
+        return self.addresses & other.addresses
+
+    def exclusive(self, others: list["AddressDataset"]) -> set[int]:
+        """Addresses present here and in none of ``others``."""
+        result = set(self.addresses)
+        for other in others:
+            result -= other.addresses
+        return result

@@ -1,0 +1,105 @@
+"""A yarrp-style traceroute engine on top of the simulator.
+
+Traceroute sends probes with increasing hop limits; each Time Exceeded
+reveals one transit router interface, and the final reply (Echo or
+Destination Unreachable) terminates the trace.  The CAIDA-Ark and
+RIPE-Atlas dataset builders run campaigns of these traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim.engine import SimulationEngine
+from ..packet.icmpv6 import ICMPv6Type
+
+
+@dataclass(frozen=True, slots=True)
+class TracerouteHop:
+    """One hop of a trace: the TTL and who answered (None = timeout)."""
+
+    ttl: int
+    source: int | None
+    icmp_type: int | None
+
+
+@dataclass(slots=True)
+class TracerouteResult:
+    """A full trace towards one target."""
+
+    target: int
+    hops: list[TracerouteHop] = field(default_factory=list)
+    reached: bool = False
+    destination_source: int | None = None
+    loop_detected: bool = False
+
+    def responding_sources(self) -> set[int]:
+        """All addresses that answered along this trace."""
+        sources = {hop.source for hop in self.hops if hop.source is not None}
+        if self.destination_source is not None:
+            sources.add(self.destination_source)
+        return sources
+
+
+def traceroute(
+    engine: SimulationEngine,
+    target: int,
+    *,
+    max_hops: int = 32,
+    time: float = 0.0,
+    probe_id_base: int = 0,
+    probes_per_hop: int = 1,
+) -> TracerouteResult:
+    """Trace towards ``target`` with increasing hop limits."""
+    result = TracerouteResult(target=target)
+    for ttl in range(1, max_hops + 1):
+        hop_reply = None
+        terminal = None
+        for attempt in range(probes_per_hop):
+            outcome = engine.probe(
+                target,
+                time + ttl * 1e-3,
+                hop_limit=ttl,
+                probe_id=probe_id_base + ttl * 4 + attempt,
+            )
+            for reply in outcome.replies:
+                if reply.icmp_type is ICMPv6Type.TIME_EXCEEDED:
+                    hop_reply = reply
+                else:
+                    terminal = reply
+            if hop_reply is not None or terminal is not None:
+                break
+        if terminal is not None:
+            result.hops.append(
+                TracerouteHop(ttl, terminal.source, int(terminal.icmp_type))
+            )
+            result.reached = terminal.icmp_type is ICMPv6Type.ECHO_REPLY
+            result.destination_source = terminal.source
+            return result
+        if hop_reply is not None:
+            result.hops.append(
+                TracerouteHop(ttl, hop_reply.source, int(hop_reply.icmp_type))
+            )
+            # Heuristic every traceroute tool uses: stop when the same
+            # source repeats (we are past the last replying router or in
+            # a loop).
+            if (
+                len(result.hops) >= 2
+                and result.hops[-2].source == hop_reply.source
+            ):
+                return result
+            # Persistent-loop signature: sources alternating A,B,A,B
+            # (Maier & Ullrich's detection criterion).
+            if len(result.hops) >= 4:
+                a, b, c, d = (hop.source for hop in result.hops[-4:])
+                if a is not None and b is not None and a == c and b == d and a != b:
+                    result.loop_detected = True
+                    return result
+        else:
+            result.hops.append(TracerouteHop(ttl, None, None))
+            # Three consecutive silent hops: give up (gap limit).
+            if len(result.hops) >= 3 and all(
+                hop.source is None for hop in result.hops[-3:]
+            ):
+                return result
+    return result

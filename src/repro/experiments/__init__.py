@@ -1,0 +1,23 @@
+"""Experiments: one module per table/figure, a shared context, and a CLI."""
+
+from .base import ExperimentReport
+from .world import (
+    ExperimentContext,
+    ExperimentScale,
+    custom_context,
+    full_scale,
+    get_context,
+    quick_scale,
+    scaled_with,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentReport",
+    "ExperimentScale",
+    "custom_context",
+    "full_scale",
+    "get_context",
+    "quick_scale",
+    "scaled_with",
+]

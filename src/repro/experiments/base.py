@@ -1,0 +1,20 @@
+"""Common experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(slots=True)
+class ExperimentReport:
+    """One regenerated table/figure: machine-readable data + paper-style text."""
+
+    experiment_id: str
+    title: str
+    data: dict[str, Any] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return f"{header}\n{self.text}"

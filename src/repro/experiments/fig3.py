@@ -1,0 +1,33 @@
+"""Fig. 3: world-wide distribution of SRA-discovered router IPs.
+
+Shape to reproduce: a strong skew towards Asia — India (paper: 27 %) and
+China (20 %) dominate, with a long tail across >200 (scaled: dozens of)
+countries.
+"""
+
+from __future__ import annotations
+
+from ..analysis.geodist import country_shares
+from ..analysis.report import render_shares
+from .base import ExperimentReport
+from .world import ExperimentContext
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    shares = country_shares(context.sra_router_ips, context.geo)
+    return ExperimentReport(
+        experiment_id="fig3",
+        title="Country distribution of router IPs found with SRA probing",
+        data={
+            "shares": shares,
+            "countries": len(shares),
+        },
+        text=render_shares(
+            shares,
+            title=(
+                f"Fig. 3 — router IPs per country "
+                f"({len(shares)} countries observed)"
+            ),
+            limit=15,
+        ),
+    )

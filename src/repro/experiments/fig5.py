@@ -1,0 +1,68 @@
+"""Fig. 5: SRA vs random probing of the hitlist /64 subnets.
+
+Shape to reproduce: per scan, SRA probing discovers ~10 % more router IPs
+than random probing; the Echo-reply population stays stable across scans
+(rate limiting does not apply) while the random/error-based counts
+fluctuate; a substantial set of router IPs is SRA-exclusive; and the
+overlap of two consecutive scans stays below ~70 %.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from ..analysis.report import format_count, format_percent, render_table
+from .base import ExperimentReport
+from .world import ExperimentContext
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    series = context.fig5_series
+    rows = []
+    for sra_scan, random_scan in zip(series.sra, series.random):
+        rows.append(
+            (
+                sra_scan.epoch + 1,
+                format_count(len(sra_scan.router_ips)),
+                format_count(len(sra_scan.echo_router_ips)),
+                format_count(len(random_scan.router_ips)),
+            )
+        )
+    advantages = series.advantage_per_epoch()
+    exclusive = series.sra_exclusive()
+    overlaps = series.consecutive_overlap("sra")
+    summary = render_table(
+        ("scan", "SRA routers", "SRA echo routers", "random routers"),
+        rows,
+        title="Fig. 5 — SRA vs random probing per scan",
+    )
+    extras = render_table(
+        ("metric", "value"),
+        [
+            ("mean SRA advantage", format_percent(mean(advantages)) if advantages else "n/a"),
+            ("SRA-exclusive router IPs", format_count(len(exclusive))),
+            (
+                "mean consecutive-scan overlap",
+                format_percent(mean(overlaps)) if overlaps else "n/a",
+            ),
+        ],
+    )
+    return ExperimentReport(
+        experiment_id="fig5",
+        title="SRA vs random probing of hitlist /64s",
+        data={
+            "per_epoch": [
+                {
+                    "epoch": sra_scan.epoch,
+                    "sra_routers": len(sra_scan.router_ips),
+                    "sra_echo_routers": len(sra_scan.echo_router_ips),
+                    "random_routers": len(random_scan.router_ips),
+                }
+                for sra_scan, random_scan in zip(series.sra, series.random)
+            ],
+            "advantages": advantages,
+            "sra_exclusive": len(exclusive),
+            "consecutive_overlap": overlaps,
+        },
+        text=f"{summary}\n\n{extras}",
+    )

@@ -1,0 +1,65 @@
+"""Fig. 8: amplification-factor CCDF (a) and loops-per-router CCDF (b).
+
+Shape to reproduce: ~98 % of amplifying routers have factors ≤10 while a
+handful exceed 10^5 (a); the majority of looping routers are responsible
+for a single /48 while a few connect orders of magnitude more (b).
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_percent, render_ccdf, render_table
+from .base import ExperimentReport
+from .world import ExperimentContext
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    analysis = context.loop_analysis
+    amp_ccdf = analysis.amplification_ccdf()
+    loops_ccdf = analysis.loops_per_router_ccdf()
+    headline = render_table(
+        ("metric", "value"),
+        [
+            ("looping /48s observed", len(analysis.looping_slash48s)),
+            ("looping router IPs", len(analysis.looping_routers)),
+            ("amplifying router IPs", len(analysis.amplifying_routers)),
+            (
+                "single-subnet looping routers",
+                format_percent(analysis.single_subnet_router_share()),
+            ),
+            (
+                "amplification <= 10 (share of amplifying routers)",
+                format_percent(analysis.amplification_share_below(10), 2),
+            ),
+            (
+                "max amplification factor",
+                max(
+                    analysis.amplification_per_router.values(), default=0
+                ),
+            ),
+        ],
+        title="Routing loops and amplification — headline numbers (§6)",
+    )
+    text = "\n\n".join(
+        [
+            headline,
+            render_ccdf(
+                amp_ccdf, title="Fig. 8a — amplification factor per router"
+            ),
+            render_ccdf(
+                loops_ccdf, title="Fig. 8b — looping /48 subnets per router"
+            ),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="fig8",
+        title="Routing loops and amplification factors",
+        data={
+            "looping_slash48s": len(analysis.looping_slash48s),
+            "looping_routers": len(analysis.looping_routers),
+            "amplifying_routers": len(analysis.amplifying_routers),
+            "single_subnet_share": analysis.single_subnet_router_share(),
+            "amplification_ccdf": amp_ccdf,
+            "loops_per_router_ccdf": loops_ccdf,
+        },
+        text=text,
+    )

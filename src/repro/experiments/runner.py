@@ -1,0 +1,115 @@
+"""CLI runner: regenerate any table/figure of the paper.
+
+Usage::
+
+    sra-repro --scale quick table2 fig5
+    sra-repro --scale full all
+    python -m repro.experiments.runner fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .base import ExperimentReport
+from .world import ExperimentContext, get_context
+
+# Registry of experiment ids -> run functions.  Import here (not lazily)
+# so `--list` and argument validation see everything.
+from . import (  # noqa: E402
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig10,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentReport]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig10": fig10.run,
+}
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext
+) -> ExperimentReport:
+    """Run one experiment by id against a context."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"choose from {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return runner(context)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sra-repro",
+        description="Regenerate tables/figures of the SRA probing paper "
+        "on the simulated IPv6 Internet.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (table1..table4, fig3..fig10) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default="quick",
+        help="probe budgets: quick (seconds) or full (minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    requested = list(args.experiments)
+    if not requested or "all" in requested:
+        requested = sorted(EXPERIMENTS)
+    for experiment_id in requested:
+        if experiment_id not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {experiment_id!r} "
+                f"(choose from {', '.join(sorted(EXPERIMENTS))})"
+            )
+
+    context = get_context(args.scale, seed=args.seed)
+    for experiment_id in requested:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, context)
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Table 4: top countries for routing loops (a) and amplification (b).
+
+Shape to reproduce: Brazil leads the looping-/48 count (paper: 26 %) with
+*many* distinct looping routers, Germany/Czechia/Netherlands concentrate
+loops on few routers, and the maximum amplification factors are extreme
+(>10^5) only in Germany and the USA while Brazil/China max out around 50.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import format_percent, render_table
+from .base import ExperimentReport
+from .world import ExperimentContext
+
+
+def run(context: ExperimentContext) -> ExperimentReport:
+    analysis = context.loop_analysis
+    geo = context.geo
+    rows_a = analysis.table4a(geo, n=5)
+    rows_b = analysis.table4b(geo, n=5)
+    text = "\n\n".join(
+        [
+            render_table(
+                ("country", "looping /48", "share", "router IPs"),
+                [
+                    (
+                        row["country"],
+                        row["looping_48s"],
+                        format_percent(row["share"]),
+                        row["router_ips"],
+                    )
+                    for row in rows_a
+                ],
+                title="Table 4a — top countries by looping /48 subnets",
+            ),
+            render_table(
+                (
+                    "country",
+                    "ampl. /48",
+                    "share",
+                    "router IPs",
+                    "max ampl. [x]",
+                ),
+                [
+                    (
+                        row["country"],
+                        row["amplifying_48s"],
+                        format_percent(row["share"]),
+                        row["router_ips"],
+                        row["max_amplification"],
+                    )
+                    for row in rows_b
+                ],
+                title="Table 4b — top countries by amplifying /48 subnets",
+            ),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="table4",
+        title="Routing loops and amplification by country",
+        data={"loops": rows_a, "amplification": rows_b},
+        text=text,
+    )

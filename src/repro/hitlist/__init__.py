@@ -1,0 +1,6 @@
+"""Hitlist substrate: active-host lists and the aliased-prefix list."""
+
+from .aliases import AliasedPrefixList
+from .hitlist import Hitlist
+
+__all__ = ["AliasedPrefixList", "Hitlist"]

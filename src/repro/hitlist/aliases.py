@@ -1,0 +1,61 @@
+"""The aliased-prefix list: networks that answer on *every* address.
+
+Fully-responsive ("aliased") prefixes would inflate any active-address
+count; the TUM hitlist service publishes a list of detected aliased
+prefixes, and the paper's alias filter checks reply sources against it
+(§3.1 "IPv6 Alias Resolution").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..addr.ipv6 import IPv6Prefix
+from ..bgp.trie import PrefixTrie
+
+
+class AliasedPrefixList:
+    """A prefix set with containment queries, mirroring the TUM alias list."""
+
+    def __init__(self, prefixes: Iterable[IPv6Prefix] = ()) -> None:
+        self._trie: PrefixTrie[bool] = PrefixTrie()
+        self._prefixes: set[IPv6Prefix] = set()
+        for prefix in prefixes:
+            self.add(prefix)
+
+    def add(self, prefix: IPv6Prefix) -> None:
+        if prefix not in self._prefixes:
+            self._prefixes.add(prefix)
+            self._trie.insert(prefix, True)
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def __iter__(self) -> Iterator[IPv6Prefix]:
+        return iter(sorted(self._prefixes))
+
+    def contains_address(self, address: int) -> bool:
+        """True if ``address`` falls inside any known aliased prefix."""
+        return self._trie.longest_match(address) is not None
+
+    def contains_prefix(self, prefix: IPv6Prefix) -> bool:
+        """True if ``prefix`` is covered by any known aliased prefix."""
+        return self._trie.has_cover(prefix)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AliasedPrefixList":
+        """Load one prefix per line; blanks and ``#`` comments ignored."""
+        prefixes = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                text = line.strip()
+                if text and not text.startswith("#"):
+                    prefixes.append(IPv6Prefix.parse(text))
+        return cls(prefixes)
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# aliased prefixes ({len(self)})\n")
+            for prefix in self:
+                handle.write(str(prefix) + "\n")

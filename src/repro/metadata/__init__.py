@@ -1,0 +1,13 @@
+"""Metadata services: GeoIP-style country DB, ASN mapping, AS-type DB."""
+
+from .asn import ASNMapper
+from .astype import ASTypeDatabase
+from .geoip import CONTINENT_OF, GeoIPDatabase, continent_of
+
+__all__ = [
+    "ASNMapper",
+    "ASTypeDatabase",
+    "CONTINENT_OF",
+    "GeoIPDatabase",
+    "continent_of",
+]

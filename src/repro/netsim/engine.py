@@ -1,0 +1,582 @@
+"""Packet-level behaviour of the simulated Internet.
+
+:class:`SimulationEngine` answers one question: *given a probe sent from
+the vantage point to destination D at virtual time t in scan epoch e, which
+ICMPv6 packets come back?*  It walks the probe hop by hop:
+
+1. BGP longest-prefix match.  Unrouted destinations draw a (rate-limited)
+   "no route" error from the vantage's upstream router.
+2. Transit traversal.  Each AS on the vantage→origin path costs one hop;
+   a hop limit that expires in transit yields a Time Exceeded from that
+   transit router — this is also how the traceroute datasets are built.
+3. Destination resolution via the world's longest-prefix index:
+   an active subnet (SRA semantics, hosts, router interfaces, unassigned
+   addresses), an aliased region, an infrastructure subnet, a routing-loop
+   region (with the amplification firmware bug), or — default — unassigned
+   announced space answered by the origin's border router.
+
+ICMPv6 *error* messages pass through the emitting router's RFC 4443 token
+bucket plus an "on-off" background-load gate (Ravaioli et al. observed
+routers alternating between answering and silence under cross traffic);
+Echo replies are never rate limited, which is exactly the asymmetry SRA
+probing exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..packet.icmpv6 import ICMPv6Type, TimeExceededCode, UnreachableCode
+from ..topology.entities import (
+    AliasRegion,
+    EntryKind,
+    InfraSubnet,
+    LoopRegion,
+    Router,
+    Subnet,
+    World,
+)
+from ..topology.profiles import SRABehavior
+from .ratelimit import TokenBucket
+from .stochastic import stable_bool, stable_unit
+
+# Cap on materialised reply counts for amplified loops; counts above this
+# are reported truthfully in `Reply.count` but the engine never enumerates.
+AMPLIFICATION_CAP = 1 << 22  # ~4.2M replies per probe
+
+_PURPOSE_LOSS = b"loss"
+_PURPOSE_FLAKY = b"flaky"
+_PURPOSE_HOST = b"host"
+_PURPOSE_DIRECT = b"direct"
+_PURPOSE_FLIP = b"flip"
+_PURPOSE_BG_WINDOW = b"bgwin"
+_PURPOSE_BG_JITTER = b"bgjit"
+
+
+@dataclass(frozen=True, slots=True)
+class Reply:
+    """One (possibly replicated) ICMPv6 reply arriving at the vantage."""
+
+    source: int
+    icmp_type: ICMPv6Type
+    code: int
+    count: int = 1
+    router_id: int | None = None
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type is ICMPv6Type.ECHO_REPLY
+
+    @property
+    def is_error(self) -> bool:
+        return self.icmp_type.is_error
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Everything a probe produced."""
+
+    target: int
+    time: float
+    epoch: int
+    replies: tuple[Reply, ...] = ()
+    lost: bool = False
+    looped: bool = False
+    amplification: int = 0
+    transit_hops: int = 0
+
+    @property
+    def replied(self) -> bool:
+        return bool(self.replies)
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Aggregate counters over an engine's lifetime (scan epoch)."""
+
+    probes: int = 0
+    lost: int = 0
+    echo_replies: int = 0
+    error_replies: int = 0
+    suppressed_errors: int = 0
+    loops_hit: int = 0
+    amplified_replies: int = 0
+
+
+class SimulationEngine:
+    """Stateful per-epoch simulation: owns rate-limiter buckets.
+
+    Create one engine per scan (or call :meth:`new_epoch` between scans);
+    token-bucket state deliberately persists *within* an epoch so that
+    scan pacing interacts with rate limiting the way it does on real
+    routers.
+    """
+
+    def __init__(self, world: World, *, epoch: int = 0, background_window: float = 1.0) -> None:
+        if world.vantage is None:
+            raise ValueError("world has no vantage point")
+        self.world = world
+        self.epoch = epoch
+        self.background_window = background_window
+        self.stats = EngineStats()
+        self._buckets: dict[int, TokenBucket] = {}
+        self._bg_load: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def new_epoch(self, epoch: int) -> None:
+        """Start a new scan epoch: reset buckets, caches, and counters."""
+        self.epoch = epoch
+        self.stats = EngineStats()
+        self._buckets.clear()
+        self._bg_load.clear()
+
+    # ------------------------------------------------------------------ #
+    # the probe path
+    # ------------------------------------------------------------------ #
+
+    def probe(
+        self,
+        target: int,
+        time: float,
+        *,
+        hop_limit: int = 64,
+        probe_id: int = 0,
+    ) -> ProbeResult:
+        """Send one ICMPv6 Echo Request from the vantage to ``target``."""
+        world = self.world
+        self.stats.probes += 1
+        if stable_bool(
+            world.seed, _PURPOSE_LOSS, world.packet_loss, target, probe_id, self.epoch
+        ):
+            self.stats.lost += 1
+            return ProbeResult(target, time, self.epoch, lost=True)
+
+        origin = world.bgp.origin_of(target)
+        if origin is None:
+            upstream = world.routers[world.vantage.upstream_router_id]
+            reply = self._emit_error(
+                upstream,
+                self._router_error_source(upstream),
+                ICMPv6Type.DESTINATION_UNREACHABLE,
+                UnreachableCode.NO_ROUTE,
+                time,
+            )
+            return self._result(target, time, replies=_as_tuple(reply))
+
+        hops = world.paths.get(origin, ())
+        transit = len(hops)
+        if hop_limit <= transit:
+            if hop_limit < 1:
+                return self._result(target, time)
+            hop = hops[hop_limit - 1]
+            router = world.routers[hop.router_id]
+            reply = self._emit_error(
+                router,
+                hop.interface,
+                ICMPv6Type.TIME_EXCEEDED,
+                TimeExceededCode.HOP_LIMIT_EXCEEDED,
+                time,
+            )
+            return self._result(
+                target, time, replies=_as_tuple(reply), transit_hops=transit
+            )
+
+        remaining = hop_limit - transit
+        match = world.resolution.longest_match(target)
+        if match is None:
+            return self._unassigned_space(target, time, origin, transit)
+
+        entry = match[1]
+        if entry.kind is EntryKind.SUBNET:
+            return self._probe_subnet(target, time, entry.payload, transit)
+        if entry.kind is EntryKind.ALIAS:
+            return self._probe_alias(target, time, entry.payload, transit)
+        if entry.kind is EntryKind.INFRA:
+            return self._probe_infra(target, time, entry.payload, transit)
+        return self._probe_loop(target, time, entry.payload, remaining, transit)
+
+    # ------------------------------------------------------------------ #
+    # destination behaviours
+    # ------------------------------------------------------------------ #
+
+    def _probe_subnet(
+        self, target: int, time: float, subnet: Subnet, transit: int
+    ) -> ProbeResult:
+        world = self.world
+        if not self._subnet_alive(subnet):
+            # Dead (or flaky-off) subnet: the interface is down but the
+            # route usually lingers in the IGP, so the *last-hop* router
+            # answers Address Unreachable from the subnet-facing interface
+            # — a distinct source per dead subnet.  This is what makes the
+            # error-IP population of the hitlist scan so large (Fig. 4).
+            router = world.routers[subnet.router_id]
+            reply = self._emit_error(
+                router,
+                subnet.router_interface,
+                ICMPv6Type.DESTINATION_UNREACHABLE,
+                UnreachableCode.ADDRESS_UNREACHABLE,
+                time,
+            )
+            return self._result(
+                target, time, replies=_as_tuple(reply), transit_hops=transit
+            )
+        if subnet.aliased:
+            # Aliased networks answer on *every* address — including the SRA
+            # address itself, which is the alias filter's tell-tale.
+            reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
+            self.stats.echo_replies += 1
+            return self._result(target, time, replies=(reply,), transit_hops=transit)
+
+        router = world.routers[subnet.router_id]
+        if target == subnet.sra_address:
+            return self._probe_sra(target, time, subnet, router, transit)
+        if target == subnet.router_interface:
+            reply = self._direct_ping(router, subnet.router_interface)
+            return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+        if target in subnet.hosts:
+            if stable_bool(
+                world.seed, _PURPOSE_HOST, 0.85, target, self.epoch
+            ):
+                self.stats.echo_replies += 1
+                reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
+                return self._result(target, time, replies=(reply,), transit_hops=transit)
+            return self._result(target, time, transit_hops=transit)
+        # Unassigned address inside an active subnet.
+        reply = self._emit_error(
+            router,
+            self._router_error_source(router, subnet.router_interface),
+            ICMPv6Type.DESTINATION_UNREACHABLE,
+            UnreachableCode.ADDRESS_UNREACHABLE,
+            time,
+        )
+        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+
+    def _probe_sra(
+        self, target: int, time: float, subnet: Subnet, router: Router, transit: int
+    ) -> ProbeResult:
+        behavior = router.vendor.sra_behavior
+        if behavior is SRABehavior.DROP:
+            return self._result(target, time, transit_hops=transit)
+        if behavior is SRABehavior.ERROR:
+            reply = self._emit_error(
+                router,
+                self._router_error_source(router, subnet.router_interface),
+                ICMPv6Type.DESTINATION_UNREACHABLE,
+                UnreachableCode.ADDRESS_UNREACHABLE,
+                time,
+            )
+            return self._result(
+                target, time, replies=_as_tuple(reply), transit_hops=transit
+            )
+        source = self._sra_reply_source(router, subnet)
+        self.stats.echo_replies += 1
+        reply = Reply(source, ICMPv6Type.ECHO_REPLY, 0, router_id=router.router_id)
+        return self._result(target, time, replies=(reply,), transit_hops=transit)
+
+    def _sra_reply_source(self, router: Router, subnet: Subnet) -> int:
+        """The RFC says "its own full source address" — which interface that
+        is differs between implementations (and is what makes AS attribution
+        of SRA replies error-prone when peering-LAN addresses leak)."""
+        if router.replies_from_peering and router.peering_lan_address is not None:
+            return router.peering_lan_address
+        if router.sra_from_primary:
+            return router.loopback
+        if router.unstable_reply_source and stable_bool(
+            self.world.seed, _PURPOSE_FLIP, 0.5, router.router_id, self.epoch
+        ):
+            return router.loopback
+        return subnet.router_interface
+
+    def _probe_alias(
+        self, target: int, time: float, region: AliasRegion, transit: int
+    ) -> ProbeResult:
+        self.stats.echo_replies += 1
+        reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
+        return self._result(target, time, replies=(reply,), transit_hops=transit)
+
+    def _probe_infra(
+        self, target: int, time: float, infra: InfraSubnet, transit: int
+    ) -> ProbeResult:
+        router_id = infra.interfaces.get(target)
+        if router_id is not None:
+            router = self.world.routers[router_id]
+            reply = self._direct_ping(router, target)
+            return self._result(
+                target, time, replies=_as_tuple(reply), transit_hops=transit
+            )
+        border = self._border_router(infra.asn)
+        if border is None:
+            return self._result(target, time, transit_hops=transit)
+        reply = self._emit_error(
+            border,
+            self._router_error_source(border),
+            ICMPv6Type.DESTINATION_UNREACHABLE,
+            UnreachableCode.ADDRESS_UNREACHABLE,
+            time,
+        )
+        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+
+    def _probe_loop(
+        self,
+        target: int,
+        time: float,
+        region: LoopRegion,
+        remaining: int,
+        transit: int,
+    ) -> ProbeResult:
+        """Customer<->provider ping-pong until the hop limit expires."""
+        world = self.world
+        self.stats.loops_hit += 1
+        customer = world.routers[region.customer_router_id]
+        if remaining < 1:
+            return self._result(target, time, looped=True, transit_hops=transit)
+        # The packet ping-pongs customer<->provider; the Time Exceeded is
+        # generated (and, with buggy firmware, massively replicated) at the
+        # misconfigured customer edge router — the paper observes floods
+        # "from the same router".
+        victim = customer
+        source = self._router_error_source(victim)
+        amplification = self._loop_amplification(customer, remaining)
+        if amplification > 1:
+            # The firmware bug replicates packets in the fast path; the
+            # resulting Time Exceeded flood bypasses the control-plane
+            # rate limiter (this is what makes it dangerous).
+            count = min(amplification, AMPLIFICATION_CAP)
+            self.stats.error_replies += count
+            self.stats.amplified_replies += count - 1
+            reply = Reply(
+                source,
+                ICMPv6Type.TIME_EXCEEDED,
+                TimeExceededCode.HOP_LIMIT_EXCEEDED,
+                count=count,
+                router_id=victim.router_id,
+            )
+            return self._result(
+                target,
+                time,
+                replies=(reply,),
+                looped=True,
+                amplification=count,
+                transit_hops=transit,
+            )
+        reply = self._emit_error(
+            victim,
+            source,
+            ICMPv6Type.TIME_EXCEEDED,
+            TimeExceededCode.HOP_LIMIT_EXCEEDED,
+            time,
+        )
+        return self._result(
+            target,
+            time,
+            replies=_as_tuple(reply),
+            looped=True,
+            amplification=1 if reply else 0,
+            transit_hops=transit,
+        )
+
+    def _loop_amplification(self, customer: Router, remaining: int) -> int:
+        factor = customer.replication_factor
+        if factor <= 1.0:
+            return 1
+        cycles = remaining / 2.0
+        try:
+            amplification = factor**cycles
+        except OverflowError:
+            return AMPLIFICATION_CAP
+        if amplification >= AMPLIFICATION_CAP:
+            return AMPLIFICATION_CAP
+        return max(1, round(amplification))
+
+    def _unassigned_space(
+        self, target: int, time: float, asn: int, transit: int
+    ) -> ProbeResult:
+        """Announced but unassigned space.
+
+        The error originates at whatever *internal* router holds the
+        closest covering route for the destination's /48 — deterministic
+        per /48 (ISP internals aggregate hierarchically), so unassigned
+        space spreads error sources across many router IPs, as observed.
+        """
+        info = self.world.ases.get(asn)
+        if info is not None and info.filters_unroutable:
+            return self._result(target, time, transit_hops=transit)
+        responsible = self._responsible_router(asn, target)
+        if responsible is None:
+            return self._result(target, time, transit_hops=transit)
+        if responsible.errors_from_primary and responsible.loopback:
+            source = responsible.loopback
+        else:
+            # Customer-facing sub-interface of the aggregation router: a
+            # distinct address per /56 region (point-to-point/VLAN links
+            # carry addresses from the delegated space).  This is why
+            # error sources in the /48 and /64 partition scans are so
+            # numerous — and why most of them never answer a direct probe.
+            source = ((target >> 72) << 72) | 0xFFFE
+        reply = self._emit_error(
+            responsible,
+            source,
+            ICMPv6Type.DESTINATION_UNREACHABLE,
+            UnreachableCode.NO_ROUTE,
+            time,
+        )
+        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+
+    def _responsible_router(self, asn: int, target: int) -> Router | None:
+        """The internal router whose aggregate covers the target's /56.
+
+        ISP internals aggregate below the /48 level (per-PoP, per-BNG),
+        so errors for the /64s of one /48 spread over several routers —
+        which is why the paper's /64 partition scan discovers the most
+        router IPs of all BGP-derived inputs (45 M, Table 2).
+        """
+        info = self.world.ases.get(asn)
+        if info is None:
+            return None
+        if not info.router_ids:
+            return self._border_router(asn)
+        slash56 = target >> 72
+        index = int(
+            stable_unit(self.world.seed, b"aggroute", asn, slash56)
+            * len(info.router_ids)
+        )
+        return self.world.routers[info.router_ids[index]]
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+
+    def _border_router(self, asn: int) -> Router | None:
+        info = self.world.ases.get(asn)
+        if info is None or info.border_router_id is None:
+            return None
+        return self.world.routers[info.border_router_id]
+
+    def _router_error_source(self, router: Router, hint: int | None = None) -> int:
+        """Where a router sources its ICMP errors: the subnet-facing
+        interface (``hint``) or, for primary-source policies, its loopback."""
+        if router.errors_from_primary and router.loopback:
+            return router.loopback
+        if hint is not None:
+            return hint
+        if router.interface_addresses:
+            return router.interface_addresses[0]
+        return router.loopback
+
+    def _direct_ping(self, router: Router, interface: int) -> Reply | None:
+        """Behaviour for an Echo Request aimed at a router's own address."""
+        if not router.answers_direct_ping:
+            return None
+        if not stable_bool(
+            self.world.seed, _PURPOSE_DIRECT, 0.96, router.router_id, self.epoch
+        ):
+            return None
+        self.stats.echo_replies += 1
+        return Reply(
+            interface, ICMPv6Type.ECHO_REPLY, 0, router_id=router.router_id
+        )
+
+    def _subnet_alive(self, subnet: Subnet) -> bool:
+        if subnet.death_epoch is not None and self.epoch >= subnet.death_epoch:
+            return False
+        if subnet.flaky:
+            return stable_bool(
+                self.world.seed,
+                _PURPOSE_FLAKY,
+                0.55,
+                subnet.prefix.network,
+                self.epoch,
+            )
+        return True
+
+    def _emit_error(
+        self,
+        router: Router,
+        source: int,
+        icmp_type: ICMPv6Type,
+        code: int,
+        time: float,
+    ) -> Reply | None:
+        """Originate an ICMPv6 error, subject to RFC 4443 rate limiting,
+        the background-load on-off gate, and the router's unreachable-
+        filtering policy ("no ip unreachables")."""
+        if (
+            icmp_type is ICMPv6Type.DESTINATION_UNREACHABLE
+            and not router.emits_unreachables
+        ):
+            return None
+        if not self._error_allowed(router, time):
+            self.stats.suppressed_errors += 1
+            return None
+        self.stats.error_replies += 1
+        return Reply(source, icmp_type, int(code), router_id=router.router_id)
+
+    def _error_allowed(self, router: Router, time: float) -> bool:
+        load = self._bg_load.get(router.router_id)
+        if load is None:
+            jitter = 0.5 + stable_unit(
+                self.world.seed, _PURPOSE_BG_JITTER, router.router_id, self.epoch
+            )
+            load = min(0.95, router.background_error_load * jitter)
+            self._bg_load[router.router_id] = load
+        if load > 0.0:
+            window = int(time / self.background_window)
+            if stable_bool(
+                self.world.seed,
+                _PURPOSE_BG_WINDOW,
+                load,
+                router.router_id,
+                self.epoch,
+                window,
+            ):
+                return False
+        bucket = self._buckets.get(router.router_id)
+        if bucket is None:
+            vendor = router.vendor
+            initial = vendor.error_burst * (
+                1.0
+                - stable_unit(
+                    self.world.seed,
+                    _PURPOSE_BG_JITTER,
+                    router.router_id,
+                    self.epoch,
+                    1,
+                )
+                * load
+            )
+            bucket = TokenBucket(
+                vendor.error_rate * (1.0 - load),
+                vendor.error_burst,
+                initial=initial,
+            )
+            self._buckets[router.router_id] = bucket
+        return bucket.allow(time)
+
+    def _result(
+        self,
+        target: int,
+        time: float,
+        *,
+        replies: tuple[Reply, ...] = (),
+        lost: bool = False,
+        looped: bool = False,
+        amplification: int = 0,
+        transit_hops: int = 0,
+    ) -> ProbeResult:
+        return ProbeResult(
+            target=target,
+            time=time,
+            epoch=self.epoch,
+            replies=replies,
+            lost=lost,
+            looped=looped,
+            amplification=amplification,
+            transit_hops=transit_hops,
+        )
+
+
+def _as_tuple(reply: Reply | None) -> tuple[Reply, ...]:
+    return () if reply is None else (reply,)

@@ -1,0 +1,48 @@
+"""RFC 4443 §2.4(f) ICMPv6 error rate limiting: a token bucket.
+
+The bucket runs on the simulation's *virtual clock*: callers pass the send
+time of the packet that may trigger an error.  Tokens refill continuously
+at ``rate`` per second up to ``burst``.  Calls must be made with
+non-decreasing timestamps (the scanner's pacing guarantees this); a small
+tolerance allows replies that logically occur "at the same instant".
+"""
+
+from __future__ import annotations
+
+
+class TokenBucket:
+    """A continuous-refill token bucket over virtual time."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_last_time")
+
+    def __init__(self, rate: float, burst: int, *, initial: float | None = None) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = self.burst if initial is None else min(float(initial), self.burst)
+        self._last_time = 0.0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens at virtual time ``now`` if available."""
+        if now < self._last_time:
+            # Tolerate tiny reordering; clamp instead of crediting time back.
+            now = self._last_time
+        elapsed = now - self._last_time
+        self._last_time = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    def reset(self, *, initial: float | None = None) -> None:
+        """Refill (or set) the bucket and rewind the clock."""
+        self._tokens = self.burst if initial is None else min(float(initial), self.burst)
+        self._last_time = 0.0

@@ -1,0 +1,40 @@
+"""Stable, keyed pseudo-randomness for the simulation.
+
+Behaviour that must be *reproducible across processes* (flaky-subnet
+availability, background ICMP load windows, packet loss, reply-source
+flips) cannot use Python's salted ``hash()`` or shared ``random.Random``
+state — re-running a scan would see a different world.  Instead every
+stochastic decision is a pure function of ``(world seed, purpose label,
+entity keys...)`` via a keyed BLAKE2 digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+_SCALE = float(1 << 64)
+
+
+def stable_unit(seed: int, purpose: bytes, *keys: int) -> float:
+    """A deterministic uniform float in [0, 1) keyed by seed+purpose+keys."""
+    hasher = hashlib.blake2b(
+        purpose,
+        digest_size=8,
+        key=(seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big"),
+    )
+    for key in keys:
+        hasher.update(struct.pack(">q", key & 0x7FFFFFFFFFFFFFFF))
+        if key.bit_length() > 62:
+            # IPv6 addresses exceed 64 bits; mix in the high half too.
+            hasher.update(struct.pack(">q", (key >> 62) & 0x7FFFFFFFFFFFFFFF))
+    return int.from_bytes(hasher.digest(), "big") / _SCALE
+
+
+def stable_bool(seed: int, purpose: bytes, probability: float, *keys: int) -> bool:
+    """A deterministic Bernoulli draw with the given probability."""
+    if probability <= 0:
+        return False
+    if probability >= 1:
+        return True
+    return stable_unit(seed, purpose, *keys) < probability

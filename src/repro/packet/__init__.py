@@ -1,0 +1,57 @@
+"""Byte-accurate IPv6 + ICMPv6 packet formats and the probe payload codec."""
+
+from .icmpv6 import (
+    ICMPV6_HEADER_LENGTH,
+    MAX_ERROR_QUOTE,
+    ICMPv6Message,
+    ICMPv6Type,
+    TimeExceededCode,
+    UnreachableCode,
+    echo_reply_for,
+    echo_request,
+    error_message,
+)
+from .ipv6hdr import (
+    DEFAULT_HOP_LIMIT,
+    HEADER_LENGTH,
+    NEXT_HEADER_ICMPV6,
+    IPv6Header,
+    PacketError,
+    internet_checksum,
+    pseudo_header,
+)
+from .probe import (
+    PAYLOAD_LENGTH,
+    PAYLOAD_MAGIC,
+    ProbePayload,
+    build_probe_packet,
+    decode_payload,
+    encode_payload,
+    extract_probe,
+)
+
+__all__ = [
+    "DEFAULT_HOP_LIMIT",
+    "HEADER_LENGTH",
+    "ICMPV6_HEADER_LENGTH",
+    "ICMPv6Message",
+    "ICMPv6Type",
+    "IPv6Header",
+    "MAX_ERROR_QUOTE",
+    "NEXT_HEADER_ICMPV6",
+    "PAYLOAD_LENGTH",
+    "PAYLOAD_MAGIC",
+    "PacketError",
+    "ProbePayload",
+    "TimeExceededCode",
+    "UnreachableCode",
+    "build_probe_packet",
+    "decode_payload",
+    "echo_reply_for",
+    "echo_request",
+    "encode_payload",
+    "error_message",
+    "extract_probe",
+    "internet_checksum",
+    "pseudo_header",
+]

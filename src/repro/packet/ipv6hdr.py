@@ -1,0 +1,105 @@
+"""IPv6 fixed header encoding and decoding (RFC 8200).
+
+The simulator moves real bytes so that the reply-matching machinery (which
+recovers the probed SRA target from ICMPv6 payloads and from quoted packets
+inside error messages) is exercised exactly as on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+IPV6_VERSION = 6
+HEADER_LENGTH = 40
+NEXT_HEADER_ICMPV6 = 58
+DEFAULT_HOP_LIMIT = 64
+
+_HEADER = struct.Struct("!IHBB16s16s")
+
+
+class PacketError(ValueError):
+    """Raised for malformed packet bytes."""
+
+
+@dataclass(frozen=True, slots=True)
+class IPv6Header:
+    """The 40-byte IPv6 fixed header.
+
+    ``src`` and ``dst`` are integer addresses; traffic class and flow label
+    are carried but unused by the simulator.
+    """
+
+    src: int
+    dst: int
+    payload_length: int
+    next_header: int = NEXT_HEADER_ICMPV6
+    hop_limit: int = DEFAULT_HOP_LIMIT
+    traffic_class: int = 0
+    flow_label: int = 0
+
+    def encode(self) -> bytes:
+        if not 0 <= self.hop_limit <= 255:
+            raise PacketError(f"hop limit out of range: {self.hop_limit}")
+        if not 0 <= self.payload_length <= 0xFFFF:
+            raise PacketError(f"payload length out of range: {self.payload_length}")
+        word0 = (
+            (IPV6_VERSION << 28)
+            | ((self.traffic_class & 0xFF) << 20)
+            | (self.flow_label & 0xFFFFF)
+        )
+        return _HEADER.pack(
+            word0,
+            self.payload_length,
+            self.next_header,
+            self.hop_limit,
+            self.src.to_bytes(16, "big"),
+            self.dst.to_bytes(16, "big"),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv6Header":
+        if len(data) < HEADER_LENGTH:
+            raise PacketError(f"truncated IPv6 header: {len(data)} bytes")
+        word0, payload_length, next_header, hop_limit, src, dst = _HEADER.unpack(
+            data[:HEADER_LENGTH]
+        )
+        version = word0 >> 28
+        if version != IPV6_VERSION:
+            raise PacketError(f"not an IPv6 packet (version {version})")
+        return cls(
+            src=int.from_bytes(src, "big"),
+            dst=int.from_bytes(dst, "big"),
+            payload_length=payload_length,
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(word0 >> 20) & 0xFF,
+            flow_label=word0 & 0xFFFFF,
+        )
+
+    def decremented(self) -> "IPv6Header":
+        """A copy with the hop limit decremented by one (forwarding step)."""
+        if self.hop_limit == 0:
+            raise PacketError("cannot decrement hop limit below zero")
+        return replace(self, hop_limit=self.hop_limit - 1)
+
+
+def pseudo_header(src: int, dst: int, length: int, next_header: int) -> bytes:
+    """The IPv6 pseudo-header used for upper-layer checksums (RFC 8200 §8.1)."""
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + struct.pack("!IxxxB", length, next_header)
+    )
+
+
+def internet_checksum(data: bytes) -> int:
+    """The 16-bit one's-complement Internet checksum (RFC 1071)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

@@ -1,0 +1,29 @@
+"""ZMapv6-style stateless scanner: targets, pacing, records."""
+
+from .records import ScanRecord, ScanResult, iter_router_ips, merge_results
+from .targets import (
+    TargetList,
+    bgp_plain_targets,
+    bgp_slash48_targets,
+    bgp_slash64_targets,
+    hitlist_slash64_targets,
+    prefixes_of_targets,
+    route6_slash64_targets,
+)
+from .zmapv6 import ScanConfig, ZMapV6Scanner
+
+__all__ = [
+    "ScanConfig",
+    "ScanRecord",
+    "ScanResult",
+    "TargetList",
+    "ZMapV6Scanner",
+    "bgp_plain_targets",
+    "bgp_slash48_targets",
+    "bgp_slash64_targets",
+    "hitlist_slash64_targets",
+    "iter_router_ips",
+    "merge_results",
+    "prefixes_of_targets",
+    "route6_slash64_targets",
+]

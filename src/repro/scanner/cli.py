@@ -1,0 +1,142 @@
+"""``sra-scan``: a command-line scanner against a simulated world.
+
+The operational counterpart of the paper's ZMapv6 + Go generator pipeline::
+
+    sra-scan --seed 7 --input-set bgp-plain --output scan.csv
+    sra-scan --seed 7 --input-set hitlist-64 --max-targets 20000 \
+             --pcap raw.pcap --summary
+
+Builds the world for ``--seed``, generates the chosen input set, scans it,
+applies the alias filter, and writes results as CSV/JSONL (plus optionally
+the raw traffic as pcap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from ..core.aliasfilter import filter_aliased
+from ..datasets.tum import harvest_hitlist, published_alias_list
+from ..netsim.engine import SimulationEngine
+from ..topology.config import WorldConfig, tiny_config
+from ..topology.generator import build_world
+from .records import ScanResult
+from .targets import (
+    TargetList,
+    bgp_plain_targets,
+    bgp_slash48_targets,
+    bgp_slash64_targets,
+    hitlist_slash64_targets,
+    route6_slash64_targets,
+)
+from .zmapv6 import ScanConfig, ZMapV6Scanner
+
+INPUT_SETS = ("bgp-plain", "bgp-48", "bgp-64", "route6-64", "hitlist-64")
+
+
+def build_targets(world, input_set: str, *, max_targets: int | None, seed: int) -> TargetList:
+    """Materialise one of the survey's input sets for a world."""
+    rng = random.Random(seed)
+    if input_set == "bgp-plain":
+        return bgp_plain_targets(world.bgp, max_targets=max_targets)
+    if input_set == "bgp-48":
+        return bgp_slash48_targets(
+            world.bgp, max_per_prefix=192, max_targets=max_targets, rng=rng
+        )
+    if input_set == "bgp-64":
+        return bgp_slash64_targets(
+            world.bgp, max_per_prefix=512, max_targets=max_targets, rng=rng
+        )
+    if input_set == "route6-64":
+        return route6_slash64_targets(
+            world.irr, per_prefix=96, max_targets=max_targets, rng=rng
+        )
+    if input_set == "hitlist-64":
+        hitlist = harvest_hitlist(world)
+        return hitlist_slash64_targets(hitlist, max_targets=max_targets)
+    raise ValueError(f"unknown input set {input_set!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="sra-scan", description=__doc__)
+    parser.add_argument("--seed", type=int, default=2024, help="world seed")
+    parser.add_argument(
+        "--world",
+        choices=("tiny", "default"),
+        default="tiny",
+        help="world size (tiny builds in ~1s)",
+    )
+    parser.add_argument("--input-set", choices=INPUT_SETS, default="bgp-plain")
+    parser.add_argument("--max-targets", type=int, default=None)
+    parser.add_argument("--pps", type=float, default=None, help="probe rate")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=6.0,
+        help="virtual scan duration used when --pps is not given",
+    )
+    parser.add_argument("--hop-limit", type=int, default=64)
+    parser.add_argument("--epoch", type=int, default=0, help="scan epoch")
+    parser.add_argument("--no-alias-filter", action="store_true")
+    parser.add_argument("--output", help="write records as CSV")
+    parser.add_argument("--jsonl", help="write records as JSONL")
+    parser.add_argument("--pcap", help="also write raw traffic as pcap")
+    parser.add_argument("--summary", action="store_true", help="print totals")
+    args = parser.parse_args(argv)
+
+    config = tiny_config(args.seed) if args.world == "tiny" else WorldConfig(seed=args.seed)
+    world = build_world(config)
+    targets = build_targets(
+        world, args.input_set, max_targets=args.max_targets, seed=args.seed
+    )
+    if not len(targets):
+        print("no targets generated", file=sys.stderr)
+        return 1
+
+    pps = args.pps or max(100.0, len(targets) / args.duration)
+    engine = SimulationEngine(world, epoch=args.epoch)
+    scanner = ZMapV6Scanner(
+        engine,
+        ScanConfig(pps=pps, hop_limit=args.hop_limit, seed=args.seed),
+    )
+    result: ScanResult = scanner.scan(
+        targets, name=args.input_set, epoch=args.epoch
+    )
+    if not args.no_alias_filter:
+        result, _ = filter_aliased(result, published_alias_list(world))
+
+    if args.output:
+        result.write_csv(args.output)
+    if args.jsonl:
+        result.write_jsonl(args.jsonl)
+    if args.pcap:
+        from ..netsim.pcap import capture_scan
+
+        capture_scan(
+            world,
+            list(targets),
+            args.pcap,
+            epoch=args.epoch + 1_000_000,  # fresh buckets for the capture run
+            pps=pps,
+            hop_limit=args.hop_limit,
+        )
+
+    if args.summary or not (args.output or args.jsonl):
+        classes = result.classify_sources()
+        print(f"input set  : {args.input_set} ({len(targets)} targets)")
+        print(f"probe rate : {pps:.0f} pps (virtual)")
+        print(f"replies    : {result.received} ({result.reply_rate:.1%} of targets)")
+        print(f"router IPs : {len(result.sources())}")
+        print(
+            "classes    : "
+            f"echo={len(classes['echo'])} error={len(classes['error'])} "
+            f"both={len(classes['both'])}"
+        )
+        print(f"loops hit  : {result.loops_observed}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+"""Scan result records and aggregation.
+
+A :class:`ScanRecord` is one received reply row — what the paper's pipeline
+gets out of ZMapv6 after matching replies back to probes.  A
+:class:`ScanResult` aggregates a whole scan: counters, per-source views,
+and the echo/error/both classification of router IPs (Fig. 4).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..addr.ipv6 import format_address
+from ..packet.icmpv6 import ICMPv6Type
+
+
+@dataclass(frozen=True, slots=True)
+class ScanRecord:
+    """One reply: which probe triggered it and what came back."""
+
+    target: int
+    source: int
+    icmp_type: int
+    code: int
+    count: int = 1
+    time: float = 0.0
+
+    @property
+    def is_echo(self) -> bool:
+        return self.icmp_type == ICMPv6Type.ECHO_REPLY
+
+    @property
+    def is_error(self) -> bool:
+        return self.icmp_type < 128
+
+    @property
+    def is_time_exceeded(self) -> bool:
+        return self.icmp_type == ICMPv6Type.TIME_EXCEEDED
+
+
+@dataclass(slots=True)
+class ScanResult:
+    """All records of one scan plus send-side counters."""
+
+    name: str
+    epoch: int = 0
+    sent: int = 0
+    lost: int = 0
+    records: list[ScanRecord] = field(default_factory=list)
+    loops_observed: int = 0
+    duration: float = 0.0
+
+    # ---------------- aggregate counters ---------------- #
+
+    @property
+    def received(self) -> int:
+        """Matched replies (one per probe/source pair).
+
+        Amplified duplicates are *not* counted here: scan tools dedup
+        matched replies, and the paper notes that loop-amplified floods
+        are "only visible in raw packet captures" (§7) — that raw volume
+        is :attr:`flood_packets`.
+        """
+        return len(self.records)
+
+    @property
+    def flood_packets(self) -> int:
+        """Unsolicited duplicate packets from loop amplification."""
+        return sum(record.count - 1 for record in self.records)
+
+    @property
+    def responsive_targets(self) -> int:
+        """Distinct probed targets that yielded at least one reply."""
+        return len({record.target for record in self.records})
+
+    @property
+    def reply_rate(self) -> float:
+        """Fraction of probed targets that got any reply."""
+        return self.responsive_targets / self.sent if self.sent else 0.0
+
+    # ---------------- source views ---------------- #
+
+    def sources(self) -> set[int]:
+        """All distinct reply source addresses."""
+        return {record.source for record in self.records}
+
+    def echo_sources(self) -> set[int]:
+        return {record.source for record in self.records if record.is_echo}
+
+    def error_sources(self) -> set[int]:
+        return {record.source for record in self.records if record.is_error}
+
+    def classify_sources(self) -> dict[str, set[int]]:
+        """Partition sources into echo-only / error-only / both (Fig. 4)."""
+        echo = self.echo_sources()
+        error = self.error_sources()
+        return {
+            "echo": echo - error,
+            "error": error - echo,
+            "both": echo & error,
+        }
+
+    def echo_targets(self) -> set[int]:
+        """Probed targets answered with an Echo reply (responsive SRAs)."""
+        return {record.target for record in self.records if record.is_echo}
+
+    def target_to_source(self) -> dict[int, int]:
+        """Map each target to its (first) echo-reply source — the SRA→router
+        binding used by the stability analysis (Fig. 6b)."""
+        mapping: dict[int, int] = {}
+        for record in self.records:
+            if record.is_echo and record.target not in mapping:
+                mapping[record.target] = record.source
+        return mapping
+
+    def amplified_records(self, threshold: int = 2) -> list[ScanRecord]:
+        """Records whose reply count meets the amplification threshold."""
+        return [record for record in self.records if record.count >= threshold]
+
+    # ---------------- persistence ---------------- #
+
+    def write_csv(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["target", "source", "icmp_type", "code", "count", "time"]
+            )
+            for record in self.records:
+                writer.writerow(
+                    [
+                        format_address(record.target),
+                        format_address(record.source),
+                        record.icmp_type,
+                        record.code,
+                        record.count,
+                        f"{record.time:.6f}",
+                    ]
+                )
+
+    def write_jsonl(self, path: str | Path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "target": format_address(record.target),
+                            "source": format_address(record.source),
+                            "icmp_type": record.icmp_type,
+                            "code": record.code,
+                            "count": record.count,
+                            "time": record.time,
+                        }
+                    )
+                    + "\n"
+                )
+
+
+def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
+    """Concatenate several scans (e.g. shards) into one result."""
+    merged = ScanResult(name=name)
+    for result in results:
+        merged.sent += result.sent
+        merged.lost += result.lost
+        merged.loops_observed += result.loops_observed
+        merged.duration += result.duration
+        merged.records.extend(result.records)
+    return merged
+
+
+def iter_router_ips(results: Iterable[ScanResult]) -> Iterator[int]:
+    """Distinct reply sources across many scans, in first-seen order."""
+    seen: set[int] = set()
+    for result in results:
+        for record in result.records:
+            if record.source not in seen:
+                seen.add(record.source)
+                yield record.source

@@ -1,0 +1,193 @@
+"""Named target lists: the survey's five input sets, materialised.
+
+The paper's Go address-generation tool streams targets into ZMap; here a
+:class:`TargetList` pairs the generated addresses with provenance so that
+results can be keyed by input set (Table 2).  Budgets (``max_targets``,
+``max_per_prefix``) implement the scale-down: sampling, never truncation
+in address order, so selection semantics survive.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..addr.ipv6 import AddressError, IPv6Prefix, format_address, parse_address
+from ..addr.partition import (
+    hitlist_targets,
+    route6_targets,
+    stage1_targets,
+    stage2_targets,
+    stage3_targets,
+)
+from ..bgp.table import BGPTable
+from ..hitlist.hitlist import Hitlist
+from ..irr.database import IRRDatabase
+
+
+@dataclass(slots=True)
+class TargetList:
+    """A named, ordered, deduplicated list of probe targets."""
+
+    name: str
+    targets: list[int] = field(default_factory=list)
+    subnet_length: int | None = None  # /64 for stage-3 style lists
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __iter__(self):
+        return iter(self.targets)
+
+    def __getitem__(self, index: int) -> int:
+        return self.targets[index]
+
+    def sample(self, k: int, rng: random.Random) -> "TargetList":
+        """A uniform sub-sample (used to bound benchmark runtimes)."""
+        if k >= len(self.targets):
+            return self
+        return TargetList(
+            name=self.name,
+            targets=rng.sample(self.targets, k),
+            subnet_length=self.subnet_length,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write one target per line — the format the paper's Go address
+        generator feeds into ZMapv6."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# targets: {self.name}")
+            if self.subnet_length is not None:
+                handle.write(f" (subnet length /{self.subnet_length})")
+            handle.write(f" [{len(self.targets)}]\n")
+            for target in self.targets:
+                handle.write(format_address(target) + "\n")
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        name: str | None = None,
+        subnet_length: int | None = None,
+    ) -> "TargetList":
+        """Read one address per line; blanks and ``#`` comments ignored."""
+        targets: list[int] = []
+        seen: set[int] = set()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                try:
+                    value = parse_address(text)
+                except AddressError as exc:
+                    raise AddressError(f"{path}:{line_number}: {exc}") from exc
+                if value not in seen:
+                    seen.add(value)
+                    targets.append(value)
+        return cls(
+            name=name or Path(path).stem,
+            targets=targets,
+            subnet_length=subnet_length,
+        )
+
+
+def _bounded(targets: Iterable[int], max_targets: int | None) -> list[int]:
+    if max_targets is None:
+        return list(targets)
+    bounded: list[int] = []
+    for target in targets:
+        bounded.append(target)
+        if len(bounded) >= max_targets:
+            break
+    return bounded
+
+
+def bgp_plain_targets(bgp: BGPTable, *, max_targets: int | None = None) -> TargetList:
+    """Stage 1: the SRA address of every announced prefix."""
+    return TargetList(
+        name="bgp-plain",
+        targets=_bounded(stage1_targets(bgp.prefixes()), max_targets),
+    )
+
+
+def bgp_slash48_targets(
+    bgp: BGPTable,
+    *,
+    max_per_prefix: int | None = None,
+    max_targets: int | None = None,
+    rng: random.Random | None = None,
+) -> TargetList:
+    """Stage 2: SRA addresses of the /48 partition of all announcements."""
+    return TargetList(
+        name="bgp-48",
+        targets=_bounded(
+            stage2_targets(bgp.prefixes(), max_per_prefix=max_per_prefix, rng=rng),
+            max_targets,
+        ),
+        subnet_length=48,
+    )
+
+
+def bgp_slash64_targets(
+    bgp: BGPTable,
+    *,
+    max_per_prefix: int | None = None,
+    max_targets: int | None = None,
+    rng: random.Random | None = None,
+) -> TargetList:
+    """Stage 3: SRA addresses of the /64 partition of /48 announcements."""
+    return TargetList(
+        name="bgp-64",
+        targets=_bounded(
+            stage3_targets(bgp.prefixes(), max_per_prefix=max_per_prefix, rng=rng),
+            max_targets,
+        ),
+        subnet_length=64,
+    )
+
+
+def route6_slash64_targets(
+    irr: IRRDatabase,
+    *,
+    per_prefix: int = 64,
+    max_targets: int | None = None,
+    rng: random.Random,
+) -> TargetList:
+    """Random /64 SRA addresses under each registered route6 prefix."""
+    return TargetList(
+        name="route6-64",
+        targets=_bounded(
+            route6_targets(irr.prefixes(), per_prefix=per_prefix, rng=rng),
+            max_targets,
+        ),
+        subnet_length=64,
+    )
+
+
+def hitlist_slash64_targets(
+    hitlist: Hitlist | Sequence[int],
+    *,
+    max_targets: int | None = None,
+) -> TargetList:
+    """Distinct /64 SRAs cut from hitlist host addresses."""
+    addresses: Iterable[int] = (
+        hitlist if not isinstance(hitlist, Hitlist) else iter(hitlist)
+    )
+    return TargetList(
+        name="hitlist-64",
+        targets=_bounded(hitlist_targets(addresses), max_targets),
+        subnet_length=64,
+    )
+
+
+def prefixes_of_targets(target_list: TargetList) -> list[IPv6Prefix]:
+    """Interpret a /N-style target list as subnet prefixes again."""
+    if target_list.subnet_length is None:
+        raise ValueError(f"target list {target_list.name!r} has no subnet length")
+    return [
+        IPv6Prefix(target, target_list.subnet_length) for target in target_list
+    ]

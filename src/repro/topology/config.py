@@ -1,0 +1,251 @@
+"""Configuration for the synthetic Internet generator.
+
+All population priors live here, in one place, so the scale-down from the
+real Internet is explicit and auditable:
+
+* country weights reproduce the paper's geographic skew (Fig. 3: India and
+  China dominate discovered router addresses; Table 4: Brazil dominates
+  routing loops while Germany/USA host the mega-amplifiers),
+* vendor-mix priors drive SRA reply semantics and the amplification bug,
+* structural knobs (AS count, subnets per AS, hosts per subnet) set the
+  absolute scale, roughly 1/1000 of the measured Internet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# (ISO3 code, AS-count weight, size multiplier). The size multiplier skews
+# how many active subnets ASes in that country operate, reproducing the
+# router-address bias towards Asian ISPs the paper reports (IND 27%, CHN 20%).
+DEFAULT_COUNTRIES: tuple[tuple[str, float, float], ...] = (
+    ("IND", 0.085, 3.6),
+    ("CHN", 0.075, 3.0),
+    ("USA", 0.095, 1.0),
+    ("BRA", 0.065, 1.0),
+    ("DEU", 0.050, 0.9),
+    ("GBR", 0.032, 0.8),
+    ("FRA", 0.030, 0.8),
+    ("JPN", 0.030, 1.0),
+    ("KOR", 0.022, 1.0),
+    ("RUS", 0.030, 0.9),
+    ("ITA", 0.022, 0.7),
+    ("ESP", 0.020, 0.7),
+    ("CAN", 0.020, 0.7),
+    ("AUS", 0.018, 0.7),
+    ("IDN", 0.022, 1.4),
+    ("VNM", 0.018, 1.3),
+    ("THA", 0.015, 1.1),
+    ("TUR", 0.015, 0.9),
+    ("POL", 0.015, 0.7),
+    ("NLD", 0.018, 0.8),
+    ("CZE", 0.012, 0.8),
+    ("SWE", 0.012, 0.6),
+    ("CHE", 0.010, 0.6),
+    ("AUT", 0.010, 0.6),
+    ("BEL", 0.008, 0.6),
+    ("NOR", 0.007, 0.5),
+    ("FIN", 0.007, 0.5),
+    ("DNK", 0.007, 0.5),
+    ("PRT", 0.007, 0.5),
+    ("GRC", 0.006, 0.5),
+    ("ROU", 0.008, 0.6),
+    ("HUN", 0.006, 0.5),
+    ("UKR", 0.010, 0.7),
+    ("MEX", 0.012, 0.8),
+    ("ARG", 0.010, 0.8),
+    ("CHL", 0.007, 0.6),
+    ("COL", 0.007, 0.6),
+    ("PER", 0.005, 0.5),
+    ("ZAF", 0.008, 0.6),
+    ("EGY", 0.006, 0.7),
+    ("NGA", 0.005, 0.6),
+    ("KEN", 0.004, 0.5),
+    ("MAR", 0.004, 0.5),
+    ("SAU", 0.005, 0.6),
+    ("ARE", 0.005, 0.6),
+    ("ISR", 0.006, 0.5),
+    ("IRN", 0.007, 0.8),
+    ("PAK", 0.007, 0.9),
+    ("BGD", 0.006, 1.0),
+    ("LKA", 0.003, 0.6),
+    ("MYS", 0.007, 0.8),
+    ("SGP", 0.006, 0.6),
+    ("PHL", 0.007, 0.9),
+    ("TWN", 0.008, 0.8),
+    ("HKG", 0.006, 0.6),
+    ("NZL", 0.004, 0.5),
+    ("IRL", 0.004, 0.5),
+    ("SVK", 0.004, 0.5),
+    ("BGR", 0.004, 0.5),
+    ("HRV", 0.003, 0.5),
+    ("SRB", 0.003, 0.5),
+    ("LTU", 0.002, 0.4),
+    ("LVA", 0.002, 0.4),
+    ("EST", 0.002, 0.4),
+)
+
+# Share of the *looping /48 mass* per country (Table 4a: BRA 26 %, DEU 9.4 %,
+# CZE 7.4 %, USA 5.4 %, NLD 5.1 %, long tail elsewhere) and the relative
+# number of looping routers (BRA has ~8x the looping routers of DEU for only
+# ~3x the loops, i.e. small regions; NLD concentrates loops on few routers).
+DEFAULT_LOOP_COUNTRY_PRIORS: dict[str, tuple[float, float]] = {
+    # country: (loop-mass weight, looping-router weight)
+    "BRA": (0.26, 0.52),
+    "DEU": (0.094, 0.055),
+    "CZE": (0.074, 0.040),
+    "USA": (0.054, 0.15),
+    "NLD": (0.051, 0.018),
+    "CHN": (0.040, 0.12),
+}
+LOOP_OTHER_MASS = 0.427  # remaining mass spread over all other countries
+LOOP_OTHER_ROUTERS = 0.117
+
+# Vendor market shares per region bucket.  "Severe" replication bugs are
+# concentrated where the paper found the mega-amplifiers (DEU/USA); "mild"
+# replication dominates in BRA/CHN (max amplification 51x / 52x).
+DEFAULT_VENDOR_MIX: dict[str, tuple[tuple[str, float], ...]] = {
+    "default": (
+        ("conformant", 0.46),
+        ("conformant-fast", 0.22),
+        ("silent", 0.14),
+        ("erroring", 0.12),
+        ("buggy-mild", 0.06),
+    ),
+    "BRA": (
+        ("conformant", 0.30),
+        ("conformant-fast", 0.12),
+        ("silent", 0.10),
+        ("erroring", 0.08),
+        ("buggy-mild", 0.40),
+    ),
+    "CHN": (
+        ("conformant", 0.40),
+        ("conformant-fast", 0.18),
+        ("silent", 0.12),
+        ("erroring", 0.10),
+        ("buggy-mild", 0.20),
+    ),
+    "DEU": (
+        ("conformant", 0.44),
+        ("conformant-fast", 0.22),
+        ("silent", 0.12),
+        ("erroring", 0.12),
+        ("buggy-mild", 0.06),
+        ("buggy-severe", 0.04),
+    ),
+    "USA": (
+        ("conformant", 0.46),
+        ("conformant-fast", 0.22),
+        ("silent", 0.12),
+        ("erroring", 0.12),
+        ("buggy-mild", 0.05),
+        ("buggy-severe", 0.03),
+    ),
+}
+
+DEFAULT_AS_TYPE_WEIGHTS: tuple[tuple[str, float], ...] = (
+    ("isp", 0.55),
+    ("business", 0.15),
+    ("hosting", 0.12),
+    ("education", 0.10),
+    ("content", 0.08),
+)
+
+
+@dataclass(slots=True)
+class WorldConfig:
+    """All knobs of the synthetic world.  Defaults build the paper-scale
+    (divided by ~1000) world used by the experiment suite."""
+
+    seed: int = 2024
+    num_ases: int = 600
+    num_tier1: int = 10
+    num_tier2: int = 110
+
+    # Address plan: each AS gets a /28 block carved out of `base_network`.
+    base_network: int = 0x2001_0000_0000_0000_0000_0000_0000_0000
+    allocation_length: int = 28
+
+    # Announcements.
+    extra_announcement_mean: float = 1.6  # geometric mean of extra prefixes
+    pi_slash48_fraction: float = 0.20  # extra announcements that are /48 PI
+    more_specific_fraction: float = 0.015  # announcements longer than /48
+    subnet_zero_active_probability: float = 0.15
+
+    # Internal structure.
+    mean_subnets_per_as: float = 70.0
+    max_subnets_per_as: int = 2500
+    mean_hosts_per_subnet: float = 1.8
+    max_hosts_per_subnet: int = 8
+    subnets_per_router_tail: float = 0.35  # Pareto-ish tail for BNG routers
+    max_subnets_per_router: int = 4096
+    single_router_as_fraction: float = 0.30
+    aliased_subnet_fraction: float = 0.015
+    alias_region_per_hosting_as: float = 0.25
+    flaky_subnet_fraction: float = 0.25
+    flaky_response_probability: float = 0.55
+    subnet_death_probability: float = 0.035  # per re-scan epoch
+    replies_from_peering_fraction: float = 0.08
+    unstable_reply_source_fraction: float = 0.03
+    errors_from_primary_fraction: float = 0.40
+    sra_from_primary_fraction: float = 0.20
+    # Router-level: last-hop routers that never emit Address Unreachable.
+    silent_unreachable_fraction: float = 0.10
+    # AS-level: networks filtering "No Route" errors for unrouted space.
+    filters_unroutable_fraction: float = 0.85
+
+    # ICMP error-suppression background load ("on-off behaviour", [28]).
+    quiet_router_fraction: float = 0.70
+    quiet_background_max: float = 0.15
+    noisy_background_min: float = 0.20
+    noisy_background_max: float = 0.90
+    background_window_seconds: float = 1.0
+
+    # Routing loops and amplification.
+    looping_as_fraction: float = 0.18
+    loops_per_as_mean: float = 3.0
+    single_slash48_loop_fraction: float = 0.60
+    loop_region_length_choices: tuple[int, ...] = (44, 40, 36, 34)
+    loop_region_length_weights: tuple[float, ...] = (0.30, 0.30, 0.25, 0.15)
+    buggy_loop_router_fraction: float = 0.27
+
+    # IRR registrations.
+    route6_registered_fraction: float = 0.85
+    route6_extra_slash48_mean: float = 4.0
+    route6_stale_fraction: float = 0.35  # registrations without BGP coverage
+
+    # Misc.
+    ixp_member_fraction: float = 0.25
+    packet_loss: float = 0.01
+    countries: tuple[tuple[str, float, float], ...] = DEFAULT_COUNTRIES
+    as_type_weights: tuple[tuple[str, float], ...] = DEFAULT_AS_TYPE_WEIGHTS
+    vendor_mix: dict[str, tuple[tuple[str, float], ...]] = field(
+        default_factory=lambda: dict(DEFAULT_VENDOR_MIX)
+    )
+    loop_country_priors: dict[str, tuple[float, float]] = field(
+        default_factory=lambda: dict(DEFAULT_LOOP_COUNTRY_PRIORS)
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_tier1 + self.num_tier2 >= self.num_ases:
+            raise ValueError("tier1+tier2 must leave room for stub ASes")
+        if not 0 <= self.packet_loss < 1:
+            raise ValueError("packet_loss must be in [0, 1)")
+        if len(self.loop_region_length_choices) != len(
+            self.loop_region_length_weights
+        ):
+            raise ValueError("loop region choices/weights length mismatch")
+
+
+def tiny_config(seed: int = 7) -> WorldConfig:
+    """A small world for unit tests: ~60 ASes, a few thousand subnets."""
+    return WorldConfig(
+        seed=seed,
+        num_ases=60,
+        num_tier1=4,
+        num_tier2=14,
+        mean_subnets_per_as=18.0,
+        max_subnets_per_as=300,
+        route6_extra_slash48_mean=2.0,
+    )

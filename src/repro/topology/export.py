@@ -1,0 +1,122 @@
+"""Artifact export: write a world's datasets the way the paper released
+its artifacts (Zenodo DOI 10.5281/zenodo.17210254).
+
+``export_artifacts`` writes a directory of plain-text datasets —
+BGP dump, IRR database, hitlist, aliased-prefix list, GeoIP and AS-type
+tables, plus a JSON summary — and ``load_artifacts`` reads them back into
+the corresponding library objects, so downstream consumers never need the
+generator at all.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..bgp.dump import read_dump, write_dump
+from ..bgp.table import BGPTable
+from ..hitlist.aliases import AliasedPrefixList
+from ..hitlist.hitlist import Hitlist
+from ..irr.database import IRRDatabase
+from ..metadata.astype import ASTypeDatabase
+from ..metadata.geoip import GeoIPDatabase
+from .entities import World
+
+BGP_FILE = "bgp.dump"
+IRR_FILE = "route6.db"
+HITLIST_FILE = "hitlist.txt"
+ALIASES_FILE = "aliased-prefixes.txt"
+GEOIP_FILE = "geoip.txt"
+ASTYPE_FILE = "astypes.txt"
+SUMMARY_FILE = "summary.json"
+
+
+@dataclass(slots=True)
+class ArtifactBundle:
+    """The re-loaded artifact set."""
+
+    bgp: BGPTable
+    irr: IRRDatabase
+    hitlist: Hitlist | None
+    aliases: AliasedPrefixList
+    geoip: GeoIPDatabase
+    astypes: ASTypeDatabase
+    summary: dict
+
+
+def export_artifacts(
+    world: World,
+    directory: str | Path,
+    *,
+    hitlist: Hitlist | None = None,
+    alias_list: AliasedPrefixList | None = None,
+) -> Path:
+    """Write all world-derived datasets into ``directory``.
+
+    ``hitlist``/``alias_list`` default to the world's ground truth when
+    not supplied (a community hitlist from :mod:`repro.datasets.tum` is
+    usually passed instead).
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    write_dump(
+        list(world.bgp),
+        path / BGP_FILE,
+        header=f"synthetic BGP table, seed={world.seed}",
+    )
+    world.irr.save(path / IRR_FILE)
+
+    if hitlist is None:
+        hitlist = Hitlist(name="ground-truth-hosts")
+        hitlist.extend(world.all_hosts())
+    hitlist.save(path / HITLIST_FILE)
+
+    if alias_list is None:
+        alias_list = AliasedPrefixList()
+        for region in world.alias_regions:
+            alias_list.add(region.prefix)
+        for subnet in world.subnets.values():
+            if subnet.aliased:
+                alias_list.add(subnet.prefix)
+    alias_list.save(path / ALIASES_FILE)
+
+    GeoIPDatabase.from_world(world).save(path / GEOIP_FILE)
+    ASTypeDatabase.from_world(world).save(path / ASTYPE_FILE)
+
+    summary = {
+        "seed": world.seed,
+        "ases": len(world.ases),
+        "announcements": len(world.bgp),
+        "route6_objects": len(world.irr),
+        "active_subnets": len(world.subnets),
+        "routers": len(world.routers),
+        "hosts": sum(len(s.hosts) for s in world.subnets.values()),
+        "loop_regions": len(world.loop_regions),
+        "looping_slash48s": sum(
+            region.slash48_count() for region in world.loop_regions
+        ),
+        "alias_regions": len(world.alias_regions),
+        "hitlist_entries": len(hitlist),
+        "aliased_prefixes": len(alias_list),
+    }
+    (path / SUMMARY_FILE).write_text(
+        json.dumps(summary, indent=2) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_artifacts(directory: str | Path) -> ArtifactBundle:
+    """Read an exported artifact directory back into library objects."""
+    path = Path(directory)
+    hitlist_path = path / HITLIST_FILE
+    return ArtifactBundle(
+        bgp=read_dump(path / BGP_FILE),
+        irr=IRRDatabase.load(path / IRR_FILE),
+        hitlist=Hitlist.load(hitlist_path) if hitlist_path.exists() else None,
+        aliases=AliasedPrefixList.load(path / ALIASES_FILE),
+        geoip=GeoIPDatabase.load(path / GEOIP_FILE),
+        astypes=ASTypeDatabase.load(path / ASTYPE_FILE),
+        summary=json.loads((path / SUMMARY_FILE).read_text(encoding="utf-8")),
+    )

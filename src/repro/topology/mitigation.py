@@ -1,0 +1,88 @@
+"""Operator-side loop mitigation: the Appendix C null-route fix.
+
+A routing loop exists because the customer router forwards packets for its
+own unused aggregated space back to the provider's default route.  The fix
+is a discard (null) route covering the unused space on the customer router;
+here that simply removes the loop region from the world's resolution index,
+so subsequent probes get a clean "no route" error instead of looping.
+
+:func:`run_disclosure_campaign` models the paper's responsible-disclosure
+outcome: operators of a subset of looping ASes apply the fix, reducing the
+global count of looping /48s (§6: 263 ASes fixed 7.7 M of 141 M loops by
+May 2025).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..addr.ipv6 import format_address
+from .entities import LoopRegion, World
+
+
+def render_null_route_config(region: LoopRegion, vendor: str = "cisco") -> str:
+    """The Appendix C configuration snippet that fixes a loop region.
+
+    ``vendor`` selects the syntax family: ``cisco`` (IOS null route) or
+    ``juniper`` (Junos aggregate route).  These are the example fixes the
+    paper shared with operators during responsible disclosure.
+    """
+    prefix_text = f"{format_address(region.prefix.network)}/{region.prefix.length}"
+    if vendor == "cisco":
+        return f"ipv6 route {prefix_text} Null0"
+    if vendor == "juniper":
+        return f"set routing-options rib inet6.0 aggregate route {prefix_text}"
+    raise ValueError(f"unknown vendor syntax {vendor!r} (cisco|juniper)")
+
+
+@dataclass(slots=True)
+class DisclosureReport:
+    """Outcome of a disclosure campaign."""
+
+    contacted_asns: int = 0
+    fixed_asns: list[int] = field(default_factory=list)
+    removed_regions: list[LoopRegion] = field(default_factory=list)
+
+    @property
+    def loops_fixed(self) -> int:
+        return sum(region.slash48_count() for region in self.removed_regions)
+
+
+def apply_null_route(world: World, region: LoopRegion) -> None:
+    """Install the customer-side discard route for one loop region."""
+    world.remove_loop(region)
+
+
+def fix_all_loops_for_asn(world: World, asn: int) -> list[LoopRegion]:
+    """An operator null-routes every looping region in their AS."""
+    regions = [region for region in world.loop_regions if region.asn == asn]
+    for region in regions:
+        apply_null_route(world, region)
+    return regions
+
+
+def run_disclosure_campaign(
+    world: World,
+    *,
+    response_rate: float = 0.05,
+    rng: random.Random | None = None,
+) -> DisclosureReport:
+    """Contact every operator of a looping AS; a fraction applies the fix.
+
+    Returns a report with the number of removed looping /48s, the analogue
+    of the paper's "decreased in 263 ASes by a total of 7.7 M loops".
+    """
+    if not 0 <= response_rate <= 1:
+        raise ValueError("response_rate must be in [0, 1]")
+    rng = rng or random.Random(0xD15C)
+    report = DisclosureReport()
+    looping_asns = sorted({region.asn for region in world.loop_regions})
+    report.contacted_asns = len(looping_asns)
+    for asn in looping_asns:
+        if rng.random() < response_rate:
+            removed = fix_all_loops_for_asn(world, asn)
+            if removed:
+                report.fixed_asns.append(asn)
+                report.removed_regions.extend(removed)
+    return report

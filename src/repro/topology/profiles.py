@@ -1,0 +1,134 @@
+"""Router vendor behaviour profiles.
+
+The paper leans on three behavioural facts about deployed routers:
+
+* **SRA semantics differ by implementation** [Swer 2023]: some reply to the
+  Subnet-Router anycast address with an Echo Reply from their own full
+  source address, some silently drop, some answer with an ICMPv6 error.
+* **ICMPv6 error messages are rate limited** (RFC 4443 §2.4(f)) with
+  vendor-specific token-bucket parameters, while Echo replies are not.
+* A **firmware bug in common vendors** replicates packets caught in
+  routing loops, amplifying a single Echo request into up to >250 000
+  Time Exceeded messages.
+
+Profiles bundle those knobs; the topology generator assigns one per router.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SRABehavior(enum.Enum):
+    """What a router does with a packet addressed to one of its SRAs."""
+
+    REPLY = "reply"  # RFC-conformant: Echo Reply from its own address
+    DROP = "drop"  # silently ignores SRA-addressed packets
+    ERROR = "error"  # treats it as an unassigned address -> error message
+
+
+@dataclass(frozen=True, slots=True)
+class VendorProfile:
+    """Behavioural parameters of one router implementation.
+
+    ``error_rate`` / ``error_burst`` configure the RFC 4443 token bucket
+    for ICMPv6 *error* origination (messages per virtual second / bucket
+    depth).  ``replicates_in_loops`` marks the amplification firmware bug;
+    ``replication_factor`` is the per-loop-cycle packet multiplier (> 1.0
+    only for buggy firmware — the amplification factor observed for a probe
+    entering the loop with ``h`` hops left is ~ factor**(h/2)).
+    """
+
+    name: str
+    sra_behavior: SRABehavior
+    error_rate: float = 100.0
+    error_burst: int = 50
+    replicates_in_loops: bool = False
+    replication_factor: float = 1.0
+    answers_direct_ping_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.error_rate <= 0:
+            raise ValueError("error_rate must be positive")
+        if self.error_burst <= 0:
+            raise ValueError("error_burst must be positive")
+        if self.replicates_in_loops and self.replication_factor <= 1.0:
+            raise ValueError("buggy firmware needs replication_factor > 1")
+        if not self.replicates_in_loops and self.replication_factor != 1.0:
+            raise ValueError("replication_factor requires replicates_in_loops")
+
+
+# The default vendor catalogue.  Names are deliberately fictional (the paper
+# withheld vendor identities during responsible disclosure); market shares
+# live in the topology generator's config.
+# Error-rate defaults follow observed vendor behaviour: Cisco-style
+# "one error per 100 ms" (10/s), Juniper-style 50/s, with small buckets.
+CONFORMANT = VendorProfile(
+    name="conformant",
+    sra_behavior=SRABehavior.REPLY,
+    error_rate=10.0,
+    error_burst=10,
+    answers_direct_ping_probability=0.30,
+)
+
+CONFORMANT_FAST = VendorProfile(
+    name="conformant-fast",
+    sra_behavior=SRABehavior.REPLY,
+    error_rate=50.0,
+    error_burst=50,
+    answers_direct_ping_probability=0.35,
+)
+
+SILENT = VendorProfile(
+    name="silent",
+    sra_behavior=SRABehavior.DROP,
+    error_rate=10.0,
+    error_burst=10,
+    answers_direct_ping_probability=0.15,
+)
+
+ERRORING = VendorProfile(
+    name="erroring",
+    sra_behavior=SRABehavior.ERROR,
+    error_rate=20.0,
+    error_burst=20,
+    answers_direct_ping_probability=0.20,
+)
+
+BUGGY_MILD = VendorProfile(
+    name="buggy-mild",
+    sra_behavior=SRABehavior.REPLY,
+    error_rate=10.0,
+    error_burst=10,
+    replicates_in_loops=True,
+    replication_factor=1.05,
+    answers_direct_ping_probability=0.25,
+)
+
+BUGGY_SEVERE = VendorProfile(
+    name="buggy-severe",
+    sra_behavior=SRABehavior.REPLY,
+    error_rate=10.0,
+    error_burst=10,
+    replicates_in_loops=True,
+    replication_factor=1.5,
+    answers_direct_ping_probability=0.25,
+)
+
+DEFAULT_VENDORS: tuple[VendorProfile, ...] = (
+    CONFORMANT,
+    CONFORMANT_FAST,
+    SILENT,
+    ERRORING,
+    BUGGY_MILD,
+    BUGGY_SEVERE,
+)
+
+
+def vendor_by_name(name: str) -> VendorProfile:
+    """Look up a catalogue vendor; raises KeyError for unknown names."""
+    for vendor in DEFAULT_VENDORS:
+        if vendor.name == name:
+            return vendor
+    raise KeyError(f"unknown vendor profile: {name!r}")

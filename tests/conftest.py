@@ -1,0 +1,43 @@
+"""Shared fixtures: session-scoped worlds so tests don't rebuild them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.tum import harvest_hitlist, published_alias_list
+from repro.netsim.engine import SimulationEngine
+from repro.topology.config import tiny_config
+from repro.topology.generator import build_world
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A small deterministic world shared by the whole test session.
+
+    Tests must not mutate it; mutation tests build their own world.
+    """
+    return build_world(tiny_config(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_hitlist(tiny_world):
+    return harvest_hitlist(tiny_world, seed=97)
+
+
+@pytest.fixture(scope="session")
+def tiny_alias_list(tiny_world):
+    return published_alias_list(tiny_world, seed=101)
+
+
+@pytest.fixture()
+def engine(tiny_world):
+    """A fresh engine per test (buckets are mutable state)."""
+    return SimulationEngine(tiny_world, epoch=0)
+
+
+@pytest.fixture(scope="session")
+def quick_context():
+    """The quick experiment context (shared; experiments cache inside)."""
+    from repro.experiments.world import get_context
+
+    return get_context("quick")

@@ -1,0 +1,178 @@
+"""Tests for the stage-1/2/3 target constructions and other input sets."""
+
+import random
+
+import pytest
+
+from repro.addr.ipv6 import IPv6Prefix, parse_address
+from repro.addr.partition import (
+    hitlist_targets,
+    route6_targets,
+    stage1_targets,
+    stage2_targets,
+    stage3_targets,
+)
+from repro.addr.sra import is_sra_candidate, sra_address, sra_of
+
+
+def prefixes(*texts):
+    return [IPv6Prefix.parse(text) for text in texts]
+
+
+class TestSRAConstruction:
+    def test_sra_address_is_network(self):
+        prefix = IPv6Prefix.parse("2001:db8:1::/48")
+        assert sra_address(prefix) == prefix.network
+
+    def test_sra_of_host(self):
+        host = parse_address("2001:db8:1:2:3:4:5:6")
+        assert sra_of(host, 64) == parse_address("2001:db8:1:2::")
+
+    def test_sra_of_is_idempotent(self):
+        host = parse_address("2001:db8::abcd")
+        assert sra_of(sra_of(host, 64), 64) == sra_of(host, 64)
+
+    def test_is_sra_candidate(self):
+        assert is_sra_candidate(parse_address("2001:db8:1::"), 64)
+        assert not is_sra_candidate(parse_address("2001:db8:1::1"), 64)
+
+
+class TestStage1:
+    def test_one_target_per_prefix(self):
+        announcements = prefixes("2001:db8::/32", "2001:db9::/48")
+        targets = list(stage1_targets(announcements))
+        assert targets == [
+            parse_address("2001:db8::"),
+            parse_address("2001:db9::"),
+        ]
+
+    def test_deduplicates_same_network(self):
+        announcements = prefixes("2001:db8::/32", "2001:db8::/48")
+        assert len(list(stage1_targets(announcements))) == 1
+
+    def test_empty(self):
+        assert list(stage1_targets([])) == []
+
+
+class TestStage2:
+    def test_enumerates_all_slash48(self):
+        announcements = prefixes("2001:db8::/44")
+        targets = list(stage2_targets(announcements))
+        assert len(targets) == 16
+        assert targets[0] == parse_address("2001:db8::")
+        assert targets[-1] == parse_address("2001:db8:f::")
+
+    def test_sampling_budget(self):
+        announcements = prefixes("2001:db8::/32")
+        rng = random.Random(1)
+        targets = list(
+            stage2_targets(announcements, max_per_prefix=10, rng=rng)
+        )
+        assert len(targets) == 10
+        assert len(set(targets)) == 10
+        for target in targets:
+            assert IPv6Prefix.of(target, 32).network == announcements[0].network
+
+    def test_slash48_announcement_kept_as_is(self):
+        announcements = prefixes("2001:db8:1::/48")
+        assert list(stage2_targets(announcements)) == [
+            parse_address("2001:db8:1::")
+        ]
+
+    def test_more_specific_lifted_to_supernet(self):
+        # A /52 with no covering announcement probes its /48 supernet.
+        announcements = prefixes("2001:db8:1:f000::/52")
+        assert list(stage2_targets(announcements)) == [
+            parse_address("2001:db8:1::")
+        ]
+
+    def test_more_specific_skipped_when_covered(self):
+        announcements = prefixes("2001:db8::/32", "2001:db8:1:f000::/52")
+        rng = random.Random(2)
+        targets = set(stage2_targets(announcements, max_per_prefix=4, rng=rng))
+        # Only the /32's own partition contributes; the /52 adds nothing
+        # beyond what the covering /32 already partitions.
+        assert len(targets) == 4
+
+    def test_deduplicates_overlapping_announcements(self):
+        announcements = prefixes("2001:db8::/44", "2001:db8::/48")
+        targets = list(stage2_targets(announcements))
+        assert len(targets) == len(set(targets)) == 16
+
+
+class TestStage3:
+    def test_only_slash48_announcements_expanded(self):
+        announcements = prefixes("2001:db8::/32", "2001:db9:1::/48")
+        rng = random.Random(3)
+        targets = list(
+            stage3_targets(announcements, max_per_prefix=8, rng=rng)
+        )
+        assert len(targets) == 8
+        for target in targets:
+            assert IPv6Prefix.of(target, 48).network == parse_address(
+                "2001:db9:1::"
+            )
+
+    def test_targets_are_slash64_networks(self):
+        announcements = prefixes("2001:db8:1::/48")
+        rng = random.Random(4)
+        for target in stage3_targets(announcements, max_per_prefix=32, rng=rng):
+            assert is_sra_candidate(target, 64)
+
+    def test_full_enumeration_count(self):
+        announcements = prefixes("2001:db8:1::/48")
+        targets = list(stage3_targets(announcements, max_per_prefix=None))
+        assert len(targets) == 1 << 16
+
+
+class TestRoute6:
+    def test_samples_per_prefix(self):
+        rng = random.Random(5)
+        targets = list(
+            route6_targets(prefixes("2001:db8:1::/48"), per_prefix=100, rng=rng)
+        )
+        assert len(targets) == 100
+        assert len(set(targets)) == 100
+
+    def test_small_prefix_enumerated(self):
+        rng = random.Random(6)
+        targets = list(
+            route6_targets(prefixes("2001:db8:1:fff0::/60"), per_prefix=100, rng=rng)
+        )
+        assert len(targets) == 16  # only 16 /64s exist
+
+    def test_longer_than_64_collapsed(self):
+        rng = random.Random(7)
+        targets = list(
+            route6_targets(
+                prefixes("2001:db8:1:2:8000::/66"), per_prefix=10, rng=rng
+            )
+        )
+        assert targets == [parse_address("2001:db8:1:2::")]
+
+    def test_targets_inside_registration(self):
+        rng = random.Random(8)
+        registration = IPv6Prefix.parse("2001:db8:42::/48")
+        for target in route6_targets([registration], per_prefix=50, rng=rng):
+            assert target in registration
+
+
+class TestHitlistTargets:
+    def test_cuts_to_slash64(self):
+        hosts = [parse_address("2001:db8:1:2:3:4:5:6")]
+        assert list(hitlist_targets(hosts)) == [parse_address("2001:db8:1:2::")]
+
+    def test_deduplicates_same_subnet(self):
+        hosts = [
+            parse_address("2001:db8::1"),
+            parse_address("2001:db8::2"),
+            parse_address("2001:db8:0:1::9"),
+        ]
+        targets = list(hitlist_targets(hosts))
+        assert len(targets) == 2
+
+    def test_custom_subnet_length(self):
+        hosts = [parse_address("2001:db8:1:2::99")]
+        assert list(hitlist_targets(hosts, subnet_length=48)) == [
+            parse_address("2001:db8:1::")
+        ]

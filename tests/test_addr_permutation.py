@@ -1,0 +1,101 @@
+"""Tests for the zmap-style cyclic permutation and prime helpers."""
+
+import pytest
+
+from repro.addr.permutation import CyclicPermutation, next_prime
+from repro.addr.randomgen import (
+    random_address_in,
+    random_targets,
+    random_targets_for_sras,
+)
+from repro.addr.ipv6 import IPv6Prefix, parse_address
+import random
+
+
+class TestNextPrime:
+    def test_small_values(self):
+        assert next_prime(2) == 2
+        assert next_prime(3) == 3
+        assert next_prime(4) == 5
+        assert next_prime(10) == 11
+
+    def test_large_value(self):
+        prime = next_prime(1_000_000)
+        assert prime >= 1_000_000
+        for small in (2, 3, 5, 7, 11, 13):
+            assert prime % small != 0
+
+
+class TestCyclicPermutation:
+    @pytest.mark.parametrize("size", [1, 2, 7, 100, 1009, 4096])
+    def test_is_a_permutation(self, size):
+        values = list(CyclicPermutation(size, seed=42))
+        assert sorted(values) == list(range(size))
+
+    def test_len(self):
+        assert len(CyclicPermutation(17, seed=1)) == 17
+
+    def test_seed_changes_order(self):
+        a = list(CyclicPermutation(500, seed=1))
+        b = list(CyclicPermutation(500, seed=2))
+        assert a != b
+        assert sorted(a) == sorted(b)
+
+    def test_deterministic_for_seed(self):
+        assert list(CyclicPermutation(300, seed=9)) == list(
+            CyclicPermutation(300, seed=9)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CyclicPermutation(0, seed=1)
+
+    def test_spreads_consecutive_indices(self):
+        # Probe dispersion: consecutive outputs should rarely be adjacent
+        # indices (that is the whole point of permuting).
+        values = list(CyclicPermutation(10_000, seed=3))
+        adjacent = sum(
+            1 for a, b in zip(values, values[1:]) if abs(a - b) == 1
+        )
+        assert adjacent < len(values) * 0.01
+
+
+class TestRandomTargets:
+    def test_random_address_in_subnet(self):
+        prefix = IPv6Prefix.parse("2001:db8:1:2::/64")
+        rng = random.Random(1)
+        for _ in range(50):
+            address = random_address_in(prefix, rng)
+            assert address in prefix
+            assert address != prefix.network  # host bits never zero
+
+    def test_single_address_prefix(self):
+        prefix = IPv6Prefix.parse("2001:db8::1/128")
+        rng = random.Random(2)
+        assert random_address_in(prefix, rng) == prefix.network
+
+    def test_random_targets_one_per_subnet(self):
+        subnets = [
+            IPv6Prefix.parse("2001:db8:1::/64"),
+            IPv6Prefix.parse("2001:db8:2::/64"),
+        ]
+        rng = random.Random(3)
+        targets = list(random_targets(subnets, rng))
+        assert len(targets) == 2
+        for target, subnet in zip(targets, subnets):
+            assert target in subnet
+
+    def test_random_targets_for_sras(self):
+        sras = [parse_address("2001:db8:1::"), parse_address("2001:db8:2::")]
+        rng = random.Random(4)
+        targets = list(random_targets_for_sras(sras, 64, rng))
+        assert len(targets) == 2
+        for sra, target in zip(sras, targets):
+            assert target != sra
+            assert (target >> 64) == (sra >> 64)
+
+    def test_deterministic_with_seed(self):
+        sras = [parse_address("2001:db8:1::")]
+        a = list(random_targets_for_sras(sras, 64, random.Random(5)))
+        b = list(random_targets_for_sras(sras, 64, random.Random(5)))
+        assert a == b

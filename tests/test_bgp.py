@@ -1,0 +1,290 @@
+"""Tests for the BGP substrate: trie, LPM, table, and dump I/O."""
+
+import io
+
+import pytest
+
+from repro.addr.ipv6 import IPv6Prefix, parse_address
+from repro.bgp.dump import (
+    DumpFormatError,
+    iter_dump,
+    parse_dump_line,
+    read_dump,
+    write_dump,
+)
+from repro.bgp.lpm import LengthIndexedLPM
+from repro.bgp.table import Announcement, BGPTable
+from repro.bgp.trie import PrefixTrie
+
+
+def p(text):
+    return IPv6Prefix.parse(text)
+
+
+class TestPrefixTrie:
+    def test_insert_get(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "a")
+        assert trie.get(p("2001:db8::/32")) == "a"
+        assert len(trie) == 1
+
+    def test_get_missing_returns_default(self):
+        trie = PrefixTrie()
+        assert trie.get(p("2001:db8::/32"), "dflt") == "dflt"
+
+    def test_replace_does_not_grow(self):
+        trie = PrefixTrie()
+        trie.insert(p("::/0"), 1)
+        trie.insert(p("::/0"), 2)
+        assert len(trie) == 1
+        assert trie.get(p("::/0")) == 2
+
+    def test_longest_match_prefers_specific(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "broad")
+        trie.insert(p("2001:db8:1::/48"), "narrow")
+        prefix, value = trie.longest_match(parse_address("2001:db8:1::5"))
+        assert value == "narrow"
+        assert prefix == p("2001:db8:1::/48")
+
+    def test_longest_match_falls_back(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "broad")
+        trie.insert(p("2001:db8:1::/48"), "narrow")
+        _, value = trie.longest_match(parse_address("2001:db8:2::5"))
+        assert value == "broad"
+
+    def test_longest_match_none(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "x")
+        assert trie.longest_match(parse_address("2001:db9::")) is None
+
+    def test_all_matches_order(self):
+        trie = PrefixTrie()
+        trie.insert(p("::/0"), 0)
+        trie.insert(p("2001:db8::/32"), 32)
+        trie.insert(p("2001:db8::/48"), 48)
+        matches = list(trie.all_matches(parse_address("2001:db8::1")))
+        assert [value for _, value in matches] == [0, 32, 48]
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "x")
+        assert trie.remove(p("2001:db8::/32"))
+        assert len(trie) == 0
+        assert not trie.remove(p("2001:db8::/32"))
+        assert trie.longest_match(parse_address("2001:db8::1")) is None
+
+    def test_remove_keeps_other_branches(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "keep")
+        trie.insert(p("2001:db8:1::/48"), "drop")
+        trie.remove(p("2001:db8:1::/48"))
+        assert trie.longest_match(parse_address("2001:db8:1::5"))[1] == "keep"
+
+    def test_has_cover(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "x")
+        assert trie.has_cover(p("2001:db8:1::/48"))
+        assert trie.has_cover(p("2001:db8::/32"))
+        assert not trie.has_cover(p("2001:db8::/32"), strict=True)
+        assert not trie.has_cover(p("2001:db9::/48"))
+
+    def test_covered_by(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), "a")
+        trie.insert(p("2001:db8:1::/48"), "b")
+        trie.insert(p("2001:db9::/32"), "c")
+        covered = dict(trie.covered_by(p("2001:db8::/32")))
+        assert covered == {p("2001:db8::/32"): "a", p("2001:db8:1::/48"): "b"}
+
+    def test_items(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), 1)
+        trie.insert(p("2001:db8:1::/48"), 2)
+        assert dict(trie.items()) == {
+            p("2001:db8::/32"): 1,
+            p("2001:db8:1::/48"): 2,
+        }
+
+    def test_contains(self):
+        trie = PrefixTrie()
+        trie.insert(p("2001:db8::/32"), None)
+        # Stored value None still counts as present.
+        assert p("2001:db8::/32") in trie
+
+
+class TestLengthIndexedLPM:
+    def test_longest_match(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db8::/32"), "broad")
+        lpm.insert(p("2001:db8:1::/48"), "narrow")
+        assert lpm.longest_match(parse_address("2001:db8:1::9"))[1] == "narrow"
+        assert lpm.longest_match(parse_address("2001:db8:2::9"))[1] == "broad"
+        assert lpm.longest_match(parse_address("2002::1")) is None
+
+    def test_remove_cleans_length_table(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db8::/32"), 1)
+        assert lpm.remove(p("2001:db8::/32"))
+        assert len(lpm) == 0
+        assert lpm.longest_match(parse_address("2001:db8::1")) is None
+        assert not lpm.remove(p("2001:db8::/32"))
+
+    def test_default_route(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("::/0"), "default")
+        assert lpm.longest_match(parse_address("abcd::1"))[1] == "default"
+
+    def test_has_cover(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db8::/32"), 1)
+        assert lpm.has_cover(p("2001:db8:1::/48"))
+        assert lpm.has_cover(p("2001:db8::/32"))
+        assert not lpm.has_cover(p("2001:db8::/32"), strict=True)
+        assert not lpm.has_cover(p("2001::/16"))
+
+    def test_all_matches_longest_first(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("::/0"), 0)
+        lpm.insert(p("2001:db8::/32"), 32)
+        lpm.insert(p("2001:db8::/64"), 64)
+        values = [v for _, v in lpm.all_matches(parse_address("2001:db8::1"))]
+        assert values == [64, 32, 0]
+
+    def test_items_sorted(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db9::/32"), "b")
+        lpm.insert(p("2001:db8::/32"), "a")
+        assert [v for _, v in lpm.items()] == ["a", "b"]
+
+    def test_get_exact(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db8::/32"), "x")
+        assert lpm.get(p("2001:db8::/32")) == "x"
+        assert lpm.get(p("2001:db8::/48")) is None
+
+    def test_size_tracks_unique_inserts(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(p("2001:db8::/32"), 1)
+        lpm.insert(p("2001:db8::/32"), 2)
+        assert len(lpm) == 1
+
+
+class TestBGPTable:
+    def _table(self):
+        return BGPTable(
+            [
+                Announcement(p("2001:db8::/32"), 64500),
+                Announcement(p("2001:db8:1::/48"), 64501),
+                Announcement(p("2001:db9::/48"), 64502),
+            ]
+        )
+
+    def test_origin_longest_match(self):
+        table = self._table()
+        assert table.origin_of(parse_address("2001:db8:1::9")) == 64501
+        assert table.origin_of(parse_address("2001:db8:2::9")) == 64500
+        assert table.origin_of(parse_address("2002::1")) is None
+
+    def test_matching_prefix(self):
+        table = self._table()
+        assert table.matching_prefix(parse_address("2001:db8:1::9")) == p(
+            "2001:db8:1::/48"
+        )
+
+    def test_is_routed(self):
+        table = self._table()
+        assert table.is_routed(parse_address("2001:db9::1"))
+        assert not table.is_routed(parse_address("3000::1"))
+
+    def test_prefixes_sorted(self):
+        assert self._table().prefixes() == [
+            p("2001:db8::/32"),
+            p("2001:db8:1::/48"),
+            p("2001:db9::/48"),
+        ]
+
+    def test_prefixes_of_length(self):
+        assert self._table().prefixes_of_length(48) == [
+            p("2001:db8:1::/48"),
+            p("2001:db9::/48"),
+        ]
+
+    def test_withdraw(self):
+        table = self._table()
+        assert table.withdraw(p("2001:db8:1::/48"))
+        assert table.origin_of(parse_address("2001:db8:1::9")) == 64500
+        assert not table.withdraw(p("2001:db8:1::/48"))
+
+    def test_has_cover(self):
+        table = self._table()
+        assert table.has_cover(p("2001:db8:2::/48"))
+        assert table.has_cover(p("2001:db8::/32"))
+        assert not table.has_cover(p("2001:db8::/32"), strict=True)
+        assert not table.has_cover(p("2002::/32"))
+
+    def test_more_specifics(self):
+        table = self._table()
+        specifics = table.more_specifics(p("2001:db8::/32"))
+        assert [a.prefix for a in specifics] == [p("2001:db8:1::/48")]
+
+    def test_len_contains_iter(self):
+        table = self._table()
+        assert len(table) == 3
+        assert p("2001:db8::/32") in table
+        assert {a.origin_asn for a in table} == {64500, 64501, 64502}
+
+
+class TestDump:
+    def test_parse_line(self):
+        announcement = parse_dump_line("2001:db8::/32 64500\n")
+        assert announcement == Announcement(p("2001:db8::/32"), 64500)
+
+    def test_parse_line_skips_comment_and_blank(self):
+        assert parse_dump_line("# comment") is None
+        assert parse_dump_line("   ") is None
+
+    def test_parse_line_errors(self):
+        with pytest.raises(DumpFormatError):
+            parse_dump_line("2001:db8::/32")
+        with pytest.raises(DumpFormatError):
+            parse_dump_line("2001:db8::/32 not-a-number")
+        with pytest.raises(DumpFormatError):
+            parse_dump_line("2001:db8::1/32 64500")
+        with pytest.raises(DumpFormatError):
+            parse_dump_line("2001:db8::/32 99999999999")
+
+    def test_roundtrip_via_stream(self):
+        announcements = [
+            Announcement(p("2001:db8::/32"), 64500),
+            Announcement(p("2001:db9::/48"), 64501),
+        ]
+        buffer = io.StringIO()
+        write_dump(announcements, buffer, header="test dump")
+        buffer.seek(0)
+        table = read_dump(buffer)
+        assert len(table) == 2
+        assert table.origin_of(parse_address("2001:db9::1")) == 64501
+
+    def test_roundtrip_via_file(self, tmp_path):
+        path = tmp_path / "dump.txt"
+        write_dump([Announcement(p("2001:db8::/32"), 1)], path)
+        table = read_dump(path)
+        assert p("2001:db8::/32") in table
+
+    def test_iter_dump(self):
+        buffer = io.StringIO("# hi\n2001:db8::/32 7\n\n2001:db9::/48 8\n")
+        assert [a.origin_asn for a in iter_dump(buffer)] == [7, 8]
+
+    def test_write_sorted(self):
+        buffer = io.StringIO()
+        write_dump(
+            [
+                Announcement(p("2001:db9::/48"), 2),
+                Announcement(p("2001:db8::/32"), 1),
+            ],
+            buffer,
+        )
+        lines = [l for l in buffer.getvalue().splitlines() if not l.startswith("#")]
+        assert lines == ["2001:db8::/32 1", "2001:db9::/48 2"]

@@ -1,0 +1,272 @@
+"""Tests for the byte-accurate IPv6/ICMPv6 codecs and the probe payload."""
+
+import pytest
+
+from repro.addr.ipv6 import parse_address
+from repro.packet.icmpv6 import (
+    ICMPV6_HEADER_LENGTH,
+    MAX_ERROR_QUOTE,
+    ICMPv6Message,
+    ICMPv6Type,
+    TimeExceededCode,
+    UnreachableCode,
+    echo_reply_for,
+    echo_request,
+    error_message,
+)
+from repro.packet.ipv6hdr import (
+    HEADER_LENGTH,
+    IPv6Header,
+    PacketError,
+    internet_checksum,
+    pseudo_header,
+)
+from repro.packet.probe import (
+    PAYLOAD_LENGTH,
+    build_probe_packet,
+    decode_payload,
+    encode_payload,
+    extract_probe,
+)
+
+SRC = parse_address("2001:db8:ffff::1")
+DST = parse_address("2001:db8:1::")
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+class TestIPv6Header:
+    def test_roundtrip(self):
+        header = IPv6Header(src=SRC, dst=DST, payload_length=64, hop_limit=64)
+        decoded = IPv6Header.decode(header.encode())
+        assert decoded == header
+
+    def test_encoded_length(self):
+        header = IPv6Header(src=SRC, dst=DST, payload_length=0)
+        assert len(header.encode()) == HEADER_LENGTH
+
+    def test_version_nibble(self):
+        raw = IPv6Header(src=SRC, dst=DST, payload_length=0).encode()
+        assert raw[0] >> 4 == 6
+
+    def test_traffic_class_and_flow_label(self):
+        header = IPv6Header(
+            src=SRC, dst=DST, payload_length=1, traffic_class=0xAB,
+            flow_label=0x12345,
+        )
+        decoded = IPv6Header.decode(header.encode())
+        assert decoded.traffic_class == 0xAB
+        assert decoded.flow_label == 0x12345
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            IPv6Header.decode(b"\x60" + b"\x00" * 10)
+
+    def test_rejects_wrong_version(self):
+        raw = bytearray(IPv6Header(src=SRC, dst=DST, payload_length=0).encode())
+        raw[0] = 0x40  # IPv4 version nibble
+        with pytest.raises(PacketError):
+            IPv6Header.decode(bytes(raw))
+
+    def test_rejects_bad_hop_limit(self):
+        with pytest.raises(PacketError):
+            IPv6Header(src=SRC, dst=DST, payload_length=0, hop_limit=256).encode()
+
+    def test_decremented(self):
+        header = IPv6Header(src=SRC, dst=DST, payload_length=0, hop_limit=5)
+        assert header.decremented().hop_limit == 4
+
+    def test_decremented_at_zero(self):
+        header = IPv6Header(src=SRC, dst=DST, payload_length=0, hop_limit=0)
+        with pytest.raises(PacketError):
+            header.decremented()
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # RFC 1071 example: checksum of 0001 f203 f4f5 f6f7.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == ~0xDDF2 & 0xFFFF
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+    def test_pseudo_header_layout(self):
+        pseudo = pseudo_header(SRC, DST, 8, 58)
+        assert len(pseudo) == 40
+        assert pseudo[-1] == 58
+
+
+class TestICMPv6Message:
+    def test_echo_roundtrip(self):
+        message = echo_request(0x1234, 0x5678, b"payload")
+        raw = message.encode(SRC, DST)
+        decoded = ICMPv6Message.decode(raw, src=SRC, dst=DST)
+        assert decoded.type is ICMPv6Type.ECHO_REQUEST
+        assert decoded.identifier == 0x1234
+        assert decoded.sequence == 0x5678
+        assert decoded.body == b"payload"
+
+    def test_checksum_verified(self):
+        raw = bytearray(echo_request(1, 2, b"x").encode(SRC, DST))
+        raw[-1] ^= 0xFF
+        with pytest.raises(PacketError):
+            ICMPv6Message.decode(bytes(raw), src=SRC, dst=DST)
+
+    def test_checksum_depends_on_addresses(self):
+        raw = echo_request(1, 2, b"x").encode(SRC, DST)
+        with pytest.raises(PacketError):
+            ICMPv6Message.decode(raw, src=SRC, dst=DST + 1)
+
+    def test_verify_can_be_skipped(self):
+        raw = bytearray(echo_request(1, 2, b"x").encode(SRC, DST))
+        raw[-1] ^= 0xFF
+        decoded = ICMPv6Message.decode(bytes(raw), src=SRC, dst=DST, verify=False)
+        assert decoded.type is ICMPv6Type.ECHO_REQUEST
+
+    def test_rejects_truncated(self):
+        with pytest.raises(PacketError):
+            ICMPv6Message.decode(b"\x80\x00", src=SRC, dst=DST)
+
+    def test_rejects_unknown_type(self):
+        raw = bytearray(echo_request(1, 2, b"").encode(SRC, DST))
+        raw[0] = 200
+        with pytest.raises(PacketError):
+            ICMPv6Message.decode(bytes(raw), src=SRC, dst=DST, verify=False)
+
+    def test_error_types_are_errors(self):
+        assert ICMPv6Type.DESTINATION_UNREACHABLE.is_error
+        assert ICMPv6Type.TIME_EXCEEDED.is_error
+        assert not ICMPv6Type.ECHO_REPLY.is_error
+
+    def test_echo_reply_for(self):
+        request = echo_request(7, 9, b"data")
+        reply = echo_reply_for(request)
+        assert reply.type is ICMPv6Type.ECHO_REPLY
+        assert (reply.identifier, reply.sequence, reply.body) == (7, 9, b"data")
+
+    def test_echo_reply_for_rejects_non_request(self):
+        with pytest.raises(PacketError):
+            echo_reply_for(echo_reply_for(echo_request(1, 1, b"")))
+
+    def test_error_quote_truncated_to_min_mtu(self):
+        huge = b"\x60" + b"\x00" * 3000
+        message = error_message(
+            ICMPv6Type.TIME_EXCEEDED, TimeExceededCode.HOP_LIMIT_EXCEEDED, huge
+        )
+        assert len(message.body) == MAX_ERROR_QUOTE
+        raw = message.encode(SRC, DST)
+        assert len(raw) <= 1280 - HEADER_LENGTH
+
+    def test_error_message_rejects_info_type(self):
+        with pytest.raises(PacketError):
+            error_message(ICMPv6Type.ECHO_REPLY, 0, b"")
+
+    def test_error_roundtrip(self):
+        quote = b"\x60" + b"\x00" * 47
+        message = error_message(
+            ICMPv6Type.DESTINATION_UNREACHABLE,
+            UnreachableCode.NO_ROUTE,
+            quote,
+        )
+        raw = message.encode(SRC, DST)
+        decoded = ICMPv6Message.decode(raw, src=SRC, dst=DST)
+        assert decoded.is_error
+        assert decoded.code == UnreachableCode.NO_ROUTE
+        assert decoded.body == quote
+
+
+class TestProbePayload:
+    def test_roundtrip(self):
+        payload = encode_payload(DST, 42, KEY)
+        assert len(payload) == PAYLOAD_LENGTH
+        decoded = decode_payload(payload, KEY)
+        assert decoded is not None
+        assert decoded.target == DST
+        assert decoded.probe_id == 42
+
+    def test_rejects_wrong_key(self):
+        payload = encode_payload(DST, 42, KEY)
+        assert decode_payload(payload, b"different-key-material") is None
+
+    def test_rejects_tampered_target(self):
+        payload = bytearray(encode_payload(DST, 42, KEY))
+        payload[6] ^= 0x01
+        assert decode_payload(bytes(payload), KEY) is None
+
+    def test_rejects_short_payload(self):
+        assert decode_payload(b"SRA6", KEY) is None
+
+    def test_rejects_foreign_traffic(self):
+        assert decode_payload(b"\x00" * PAYLOAD_LENGTH, KEY) is None
+
+    def test_extra_trailing_bytes_tolerated(self):
+        payload = encode_payload(DST, 7, KEY) + b"padding"
+        decoded = decode_payload(payload, KEY)
+        assert decoded is not None and decoded.probe_id == 7
+
+
+class TestExtractProbe:
+    def _probe(self, probe_id=9):
+        return build_probe_packet(
+            src=SRC,
+            target=DST,
+            probe_id=probe_id,
+            key=KEY,
+            hop_limit=64,
+            identifier=1,
+            sequence=2,
+        )
+
+    def test_from_echo_reply(self):
+        wire = self._probe()
+        request = ICMPv6Message.decode(wire[HEADER_LENGTH:], src=SRC, dst=DST)
+        reply = echo_reply_for(request)
+        extraction = extract_probe(reply, KEY)
+        assert extraction is not None
+        payload, target = extraction
+        assert target == DST and payload.probe_id == 9
+
+    def test_from_error_message(self):
+        wire = self._probe(probe_id=11)
+        error = error_message(
+            ICMPv6Type.TIME_EXCEEDED,
+            TimeExceededCode.HOP_LIMIT_EXCEEDED,
+            wire,
+        )
+        extraction = extract_probe(error, KEY)
+        assert extraction is not None
+        payload, target = extraction
+        assert target == DST and payload.probe_id == 11
+
+    def test_error_with_short_quote_rejected(self):
+        error = error_message(
+            ICMPv6Type.DESTINATION_UNREACHABLE,
+            UnreachableCode.NO_ROUTE,
+            b"\x60\x00\x00\x00",
+        )
+        assert extract_probe(error, KEY) is None
+
+    def test_rewritten_destination_rejected(self):
+        wire = bytearray(self._probe())
+        # A middlebox rewrote the inner destination address.
+        wire[24:40] = (DST + 1).to_bytes(16, "big")
+        error = error_message(
+            ICMPv6Type.TIME_EXCEEDED,
+            TimeExceededCode.HOP_LIMIT_EXCEEDED,
+            bytes(wire),
+        )
+        assert extract_probe(error, KEY) is None
+
+    def test_echo_request_not_extracted(self):
+        wire = self._probe()
+        request = ICMPv6Message.decode(wire[HEADER_LENGTH:], src=SRC, dst=DST)
+        assert extract_probe(request, KEY) is None
+
+    def test_wrong_key_rejected_everywhere(self):
+        wire = self._probe()
+        error = error_message(
+            ICMPv6Type.TIME_EXCEEDED,
+            TimeExceededCode.HOP_LIMIT_EXCEEDED,
+            wire,
+        )
+        assert extract_probe(error, b"wrong-key") is None

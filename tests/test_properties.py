@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import (
+    IPv6Prefix,
+    format_address,
+    network_of,
+    parse_address,
+    prefix_mask,
+)
+from repro.addr.partition import hitlist_targets, stage2_targets
+from repro.addr.permutation import CyclicPermutation, next_prime
+from repro.bgp.lpm import LengthIndexedLPM
+from repro.bgp.trie import PrefixTrie
+from repro.netsim.ratelimit import TokenBucket
+from repro.netsim.stochastic import stable_unit
+from repro.packet.icmpv6 import ICMPv6Message, echo_request
+from repro.packet.ipv6hdr import IPv6Header, internet_checksum
+from repro.packet.probe import decode_payload, encode_payload
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+lengths = st.integers(min_value=0, max_value=128)
+prefix_pairs = st.tuples(addresses, lengths)
+
+
+def make_prefix(address: int, length: int) -> IPv6Prefix:
+    return IPv6Prefix.of(address, length)
+
+
+class TestAddressProperties:
+    @given(addresses)
+    def test_format_parse_roundtrip(self, value):
+        assert parse_address(format_address(value)) == value
+
+    @given(addresses, lengths)
+    def test_network_idempotent(self, address, length):
+        network = network_of(address, length)
+        assert network_of(network, length) == network
+
+    @given(addresses, lengths)
+    def test_prefix_contains_its_addresses(self, address, length):
+        prefix = make_prefix(address, length)
+        assert address in prefix
+        assert prefix.first in prefix
+        assert prefix.last in prefix
+
+    @given(addresses, lengths, lengths)
+    def test_supernet_covers(self, address, length_a, length_b):
+        longer, shorter = max(length_a, length_b), min(length_a, length_b)
+        inner = make_prefix(address, longer)
+        outer = inner.supernet(shorter)
+        assert outer.covers(inner)
+
+    @given(lengths)
+    def test_mask_popcount(self, length):
+        assert bin(prefix_mask(length)).count("1") == length
+
+    @given(st.lists(addresses, max_size=60))
+    def test_hitlist_targets_distinct_and_aligned(self, hosts):
+        targets = list(hitlist_targets(hosts))
+        assert len(targets) == len(set(targets))
+        for target in targets:
+            assert target & ((1 << 64) - 1) == 0
+        # Every host maps to exactly one of the emitted targets.
+        for host in hosts:
+            assert network_of(host, 64) in set(targets)
+
+
+class TestPermutationProperties:
+    @given(st.integers(min_value=1, max_value=3000), st.integers())
+    @settings(max_examples=30, deadline=None)
+    def test_bijection(self, size, seed):
+        values = list(CyclicPermutation(size, seed=seed))
+        assert sorted(values) == list(range(size))
+
+    @given(st.integers(min_value=2, max_value=10**7))
+    @settings(max_examples=50, deadline=None)
+    def test_next_prime_is_prime_and_geq(self, n):
+        prime = next_prime(n)
+        assert prime >= n
+        assert all(prime % d for d in range(2, min(prime, 1000)) if d < prime)
+
+
+class TestLPMProperties:
+    @given(
+        st.lists(prefix_pairs, min_size=1, max_size=40),
+        st.lists(addresses, min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_lpm_matches_naive_reference(self, pairs, queries):
+        lpm = LengthIndexedLPM()
+        trie = PrefixTrie()
+        stored = {}
+        for address, length in pairs:
+            prefix = make_prefix(address, length)
+            stored[prefix] = str(prefix)
+            lpm.insert(prefix, str(prefix))
+            trie.insert(prefix, str(prefix))
+        for query in queries:
+            naive = max(
+                (p for p in stored if query in p),
+                key=lambda p: p.length,
+                default=None,
+            )
+            got_lpm = lpm.longest_match(query)
+            got_trie = trie.longest_match(query)
+            if naive is None:
+                assert got_lpm is None and got_trie is None
+            else:
+                assert got_lpm is not None and got_lpm[0] == naive
+                assert got_trie is not None and got_trie[0] == naive
+
+    @given(st.lists(prefix_pairs, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_remove_returns_to_empty(self, pairs):
+        lpm = LengthIndexedLPM()
+        prefixes = {make_prefix(a, l) for a, l in pairs}
+        for prefix in prefixes:
+            lpm.insert(prefix, 1)
+        assert len(lpm) == len(prefixes)
+        for prefix in prefixes:
+            assert lpm.remove(prefix)
+        assert len(lpm) == 0
+        for address, _ in pairs:
+            assert lpm.longest_match(address) is None
+
+
+class TestPacketProperties:
+    @given(addresses, addresses, st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_icmp_encode_decode_roundtrip(self, src, dst, payload):
+        message = echo_request(1, 2, payload)
+        raw = message.encode(src, dst)
+        decoded = ICMPv6Message.decode(raw, src=src, dst=dst)
+        assert decoded.body == payload
+
+    @given(st.binary(max_size=128))
+    def test_checksum_of_data_plus_checksum_is_zero(self, data):
+        checksum = internet_checksum(data)
+        if len(data) % 2:
+            data += b"\x00"
+        combined = data + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+    @given(addresses, addresses, st.integers(0, 255), st.integers(0, 0xFFFF))
+    def test_header_roundtrip(self, src, dst, hop_limit, payload_length):
+        header = IPv6Header(
+            src=src, dst=dst, payload_length=payload_length, hop_limit=hop_limit
+        )
+        assert IPv6Header.decode(header.encode()) == header
+
+    @given(addresses, st.integers(0, (1 << 64) - 1), st.binary(min_size=8, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_payload_roundtrip_any_key(self, target, probe_id, key):
+        payload = encode_payload(target, probe_id, key)
+        decoded = decode_payload(payload, key)
+        assert decoded is not None
+        assert decoded.target == target
+        assert decoded.probe_id == probe_id
+
+
+class TestStage2Properties:
+    @given(
+        st.lists(
+            st.tuples(addresses, st.integers(min_value=20, max_value=52)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stage2_targets_are_distinct_slash48_networks(self, pairs, budget):
+        announcements = [make_prefix(a, l) for a, l in pairs]
+        rng = random.Random(0)
+        targets = list(
+            stage2_targets(announcements, max_per_prefix=budget, rng=rng)
+        )
+        assert len(targets) == len(set(targets))
+        for target in targets:
+            assert network_of(target, 48) == target
+
+
+class TestRateLimitProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=100, allow_nan=False),
+        st.integers(min_value=1, max_value=50),
+        st.lists(
+            st.floats(min_value=0, max_value=10, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_never_exceeds_theoretical_budget(self, rate, burst, gaps):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        allowed = 0
+        for gap in gaps:
+            now += gap
+            if bucket.allow(now):
+                allowed += 1
+        # Conservation: can never pass more than burst + rate*elapsed.
+        assert allowed <= burst + rate * now + 1e-6
+
+
+class TestStochasticProperties:
+    @given(st.integers(), st.lists(st.integers(), max_size=4))
+    def test_stable_unit_is_pure(self, seed, keys):
+        a = stable_unit(seed, b"purpose", *keys)
+        b = stable_unit(seed, b"purpose", *keys)
+        assert a == b
+        assert 0.0 <= a < 1.0

@@ -1,0 +1,287 @@
+"""Tests for the stateless scanner: records, targets, the zmap driver."""
+
+import csv
+import json
+import random
+
+import pytest
+
+from repro.addr.ipv6 import parse_address
+from repro.packet.icmpv6 import ICMPv6Type
+from repro.scanner.records import (
+    ScanRecord,
+    ScanResult,
+    iter_router_ips,
+    merge_results,
+)
+from repro.scanner.targets import (
+    bgp_plain_targets,
+    bgp_slash48_targets,
+    bgp_slash64_targets,
+    hitlist_slash64_targets,
+    prefixes_of_targets,
+    route6_slash64_targets,
+)
+from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from repro.netsim.engine import SimulationEngine
+
+ECHO = int(ICMPv6Type.ECHO_REPLY)
+UNREACH = int(ICMPv6Type.DESTINATION_UNREACHABLE)
+TIMEX = int(ICMPv6Type.TIME_EXCEEDED)
+
+
+def record(target, source, icmp_type, count=1):
+    return ScanRecord(target=target, source=source, icmp_type=icmp_type, code=0, count=count)
+
+
+class TestScanRecord:
+    def test_classification_properties(self):
+        assert record(1, 2, ECHO).is_echo
+        assert not record(1, 2, ECHO).is_error
+        assert record(1, 2, UNREACH).is_error
+        assert record(1, 2, TIMEX).is_time_exceeded
+
+
+class TestScanResult:
+    def _result(self):
+        result = ScanResult(name="test", sent=10)
+        result.records = [
+            record(1, 100, ECHO),
+            record(2, 100, UNREACH),  # source 100 is "both"
+            record(3, 101, ECHO),
+            record(4, 102, UNREACH),
+            record(5, 103, TIMEX, count=50),
+        ]
+        return result
+
+    def test_received_excludes_flood_duplicates(self):
+        result = self._result()
+        assert result.received == 5
+        assert result.flood_packets == 49
+
+    def test_responsive_targets(self):
+        assert self._result().responsive_targets == 5
+
+    def test_reply_rate(self):
+        assert self._result().reply_rate == 0.5
+
+    def test_source_views(self):
+        result = self._result()
+        assert result.sources() == {100, 101, 102, 103}
+        assert result.echo_sources() == {100, 101}
+        assert result.error_sources() == {100, 102, 103}
+
+    def test_classify_sources(self):
+        classes = self._result().classify_sources()
+        assert classes["both"] == {100}
+        assert classes["echo"] == {101}
+        assert classes["error"] == {102, 103}
+
+    def test_echo_targets(self):
+        assert self._result().echo_targets() == {1, 3}
+
+    def test_target_to_source_first_wins(self):
+        result = ScanResult(name="x", sent=1)
+        result.records = [record(1, 100, ECHO), record(1, 999, ECHO)]
+        assert result.target_to_source() == {1: 100}
+
+    def test_amplified_records(self):
+        assert len(self._result().amplified_records(threshold=2)) == 1
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "scan.csv"
+        result.write_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 5
+        assert rows[0]["icmp_type"] == str(ECHO)
+
+    def test_write_jsonl(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "scan.jsonl"
+        result.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        parsed = json.loads(lines[-1])
+        assert parsed["count"] == 50
+
+    def test_merge_results(self):
+        merged = merge_results("all", [self._result(), self._result()])
+        assert merged.sent == 20
+        assert len(merged.records) == 10
+
+    def test_iter_router_ips_dedup_order(self):
+        ips = list(iter_router_ips([self._result(), self._result()]))
+        assert ips == [100, 101, 102, 103]
+
+
+class TestTargetLists:
+    def test_bgp_plain(self, tiny_world):
+        targets = bgp_plain_targets(tiny_world.bgp)
+        assert len(targets) == len(set(targets.targets))
+        assert targets.name == "bgp-plain"
+
+    def test_max_targets_cap(self, tiny_world):
+        targets = bgp_plain_targets(tiny_world.bgp, max_targets=5)
+        assert len(targets) == 5
+
+    def test_bgp_slash48_inside_announcements(self, tiny_world):
+        rng = random.Random(0)
+        targets = bgp_slash48_targets(
+            tiny_world.bgp, max_per_prefix=4, rng=rng
+        )
+        assert targets.subnet_length == 48
+        from repro.addr.ipv6 import IPv6Prefix
+
+        for target in list(targets)[:100]:
+            # Either the target is routed, or it is the SRA of the /48
+            # supernet of a more-specific (e.g. /52) announcement — the
+            # paper's lifting rule produces those deliberately.
+            slash48 = IPv6Prefix.of(target, 48)
+            assert tiny_world.bgp.is_routed(target) or any(
+                True for _ in tiny_world.bgp.more_specifics(slash48)
+            )
+
+    def test_bgp_slash64(self, tiny_world):
+        rng = random.Random(0)
+        targets = bgp_slash64_targets(tiny_world.bgp, max_per_prefix=4, rng=rng)
+        assert targets.subnet_length == 64
+        slash48s = tiny_world.bgp.prefixes_of_length(48)
+        for target in targets:
+            assert any(target in prefix for prefix in slash48s)
+
+    def test_route6_targets(self, tiny_world):
+        rng = random.Random(0)
+        targets = route6_slash64_targets(
+            tiny_world.irr, per_prefix=4, rng=rng, max_targets=100
+        )
+        assert len(targets) == 100
+
+    def test_hitlist_targets(self, tiny_hitlist):
+        targets = hitlist_slash64_targets(tiny_hitlist)
+        assert len(targets) == len(set(targets.targets))
+        for target in list(targets)[:50]:
+            assert target & ((1 << 64) - 1) == 0
+
+    def test_prefixes_of_targets(self, tiny_hitlist):
+        targets = hitlist_slash64_targets(tiny_hitlist, max_targets=10)
+        prefixes = prefixes_of_targets(targets)
+        assert all(prefix.length == 64 for prefix in prefixes)
+
+    def test_prefixes_of_targets_requires_length(self, tiny_world):
+        with pytest.raises(ValueError):
+            prefixes_of_targets(bgp_plain_targets(tiny_world.bgp))
+
+    def test_sample(self, tiny_hitlist):
+        targets = hitlist_slash64_targets(tiny_hitlist)
+        sample = targets.sample(7, random.Random(1))
+        assert len(sample) == 7
+        assert set(sample.targets) <= set(targets.targets)
+        assert targets.sample(10**9, random.Random(1)) is targets
+
+
+class TestScanConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScanConfig(pps=0)
+        with pytest.raises(ValueError):
+            ScanConfig(hop_limit=0)
+        with pytest.raises(ValueError):
+            ScanConfig(shard=2, shards=2)
+
+
+class TestZMapScanner:
+    def test_scan_probes_every_target_once(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=1000, seed=5))
+        targets = list(bgp_plain_targets(tiny_world.bgp))
+        result = scanner.scan(targets, name="t")
+        assert result.sent == len(targets)
+        assert engine.stats.probes == len(targets)
+
+    def test_sharding_partitions_targets(self, tiny_world):
+        targets = list(bgp_plain_targets(tiny_world.bgp))
+        sent = 0
+        for shard in range(3):
+            engine = SimulationEngine(tiny_world, epoch=0)
+            scanner = ZMapV6Scanner(
+                engine, ScanConfig(pps=1000, seed=5, shard=shard, shards=3)
+            )
+            result = scanner.scan(targets, name=f"shard{shard}")
+            sent += result.sent
+        assert sent == len(targets)
+
+    def test_permutation_off_is_sequential(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=1000, permute=False))
+        order = list(scanner._probe_order(5))
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_epoch_reseeds_order(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=1000, seed=5))
+        order0 = list(scanner._probe_order(100))
+        engine.new_epoch(1)
+        order1 = list(scanner._probe_order(100))
+        assert order0 != order1
+        assert sorted(order0) == sorted(order1)
+
+    def test_wire_format_equivalent_results(self, tiny_world):
+        """The byte-accurate path must match every structured reply."""
+        targets = list(bgp_plain_targets(tiny_world.bgp))[:60]
+        fast = ZMapV6Scanner(
+            SimulationEngine(tiny_world, epoch=3),
+            ScanConfig(pps=1000, seed=5),
+        ).scan(targets, name="fast", epoch=3)
+        wire = ZMapV6Scanner(
+            SimulationEngine(tiny_world, epoch=3),
+            ScanConfig(pps=1000, seed=5, wire_format=True),
+        ).scan(targets, name="wire", epoch=3)
+        fast_rows = sorted((r.target, r.source, r.icmp_type) for r in fast.records)
+        wire_rows = sorted((r.target, r.source, r.icmp_type) for r in wire.records)
+        assert fast_rows == wire_rows
+
+    def test_scan_times_follow_pps(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=100, seed=1))
+        targets = list(bgp_plain_targets(tiny_world.bgp))[:10]
+        result = scanner.scan(targets, name="paced")
+        assert result.duration == pytest.approx(10 / 100)
+        for record_ in result.records:
+            assert 0 <= record_.time <= result.duration
+
+    def test_loops_observed_counter(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=1000, seed=1))
+        region = tiny_world.loop_regions[0]
+        targets = [region.prefix.network | i for i in range(1, 30)]
+        result = scanner.scan(targets, name="loops")
+        assert result.loops_observed > 0
+
+
+class TestTargetListIO:
+    def test_save_load_roundtrip(self, tiny_hitlist, tmp_path):
+        targets = hitlist_slash64_targets(tiny_hitlist, max_targets=200)
+        path = tmp_path / "targets.txt"
+        targets.save(path)
+        loaded = type(targets).load(path, subnet_length=64)
+        assert loaded.targets == targets.targets
+        assert loaded.subnet_length == 64
+
+    def test_load_skips_comments_and_dedups(self, tmp_path):
+        from repro.scanner.targets import TargetList
+
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n2001:db8::\n\n2001:db8::\n2001:db9::\n")
+        loaded = TargetList.load(path)
+        assert len(loaded) == 2
+
+    def test_load_reports_bad_line(self, tmp_path):
+        from repro.addr.ipv6 import AddressError
+        from repro.scanner.targets import TargetList
+
+        path = tmp_path / "bad.txt"
+        path.write_text("2001:db8::\nnot-an-address\n")
+        with pytest.raises(AddressError, match="2"):
+            TargetList.load(path)
