@@ -72,6 +72,7 @@ def filter_aliased(
         records=kept,
         loops_observed=result.loops_observed,
         duration=result.duration,
+        engine_stats=result.engine_stats,
     )
     stats = AliasFilterStats(
         kept=len(kept),

@@ -19,7 +19,9 @@ from dataclasses import dataclass, field
 
 from ..addr.randomgen import random_targets_for_sras
 from ..netsim.engine import SimulationEngine
+from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
+from ..scanner.sharded import ShardedScanRunner
 from ..scanner.zmapv6 import ScanConfig, ZMapV6Scanner
 from ..topology.entities import World
 
@@ -80,12 +82,24 @@ class ComparisonSeries:
         return overlaps
 
 
-def _paced_pps(target_count: int, duration: float, ceiling: float) -> float:
-    """Probe rate that sweeps ``target_count`` targets over ``duration``
-    virtual seconds (capped at the scanner's line rate)."""
-    if duration <= 0 or target_count == 0:
-        return ceiling
-    return min(ceiling, max(100.0, target_count / duration))
+def _scan(
+    world: World,
+    config: ScanConfig,
+    targets: list[int],
+    *,
+    name: str,
+    epoch: int,
+    runner: ShardedScanRunner | None = None,
+) -> ScanResult:
+    """Run one campaign scan, serially or through a sharded runner.
+
+    Sharded execution is merge-deterministic, so passing a runner changes
+    wall-clock time only, never the results.
+    """
+    if runner is None:
+        engine = SimulationEngine(world, epoch=epoch)
+        return ZMapV6Scanner(engine, config).scan(targets, name=name, epoch=epoch)
+    return runner.scan(targets, config, name=name, epoch=epoch)
 
 
 def run_sra_vs_random(
@@ -97,10 +111,11 @@ def run_sra_vs_random(
     pps: float = 50_000.0,
     scan_duration: float = 6.0,
     seed: int = 23,
+    runner: ShardedScanRunner | None = None,
 ) -> ComparisonSeries:
     """Fig. 5: paired SRA and random scans of the same /64 subnets."""
     series = ComparisonSeries()
-    paced = _paced_pps(len(sra_targets), scan_duration, pps)
+    paced = paced_pps(len(sra_targets), scan_duration, pps)
     for epoch in range(epochs):
         rng = random.Random((seed << 8) | epoch)
         random_targets = list(
@@ -110,12 +125,13 @@ def run_sra_vs_random(
             ("sra", sra_targets, series.sra),
             ("random", random_targets, series.random),
         ):
-            engine = SimulationEngine(world, epoch=epoch)
-            scanner = ZMapV6Scanner(
-                engine, ScanConfig(pps=paced, seed=seed + epoch)
-            )
-            result = scanner.scan(
-                targets, name=f"{method}-epoch{epoch}", epoch=epoch
+            result = _scan(
+                world,
+                ScanConfig(pps=paced, seed=seed + epoch),
+                targets,
+                name=f"{method}-epoch{epoch}",
+                epoch=epoch,
+                runner=runner,
             )
             bucket.append(MethodScan(epoch=epoch, result=result))
     return series
@@ -168,16 +184,22 @@ def run_visibility(
     scan_duration: float = 6.0,
     seed: int = 31,
     epoch_base: int = 1000,
+    runner: ShardedScanRunner | None = None,
 ) -> VisibilityReport:
     """Probe each discovered router IP directly, once per day (Fig. 6a)."""
     report = VisibilityReport(probed=set(router_ips))
     ordered = sorted(router_ips)
-    paced = _paced_pps(len(ordered), scan_duration, pps)
+    paced = paced_pps(len(ordered), scan_duration, pps)
     for day in range(days):
         epoch = epoch_base + day
-        engine = SimulationEngine(world, epoch=epoch)
-        scanner = ZMapV6Scanner(engine, ScanConfig(pps=paced, seed=seed + day))
-        result = scanner.scan(ordered, name=f"direct-day{day}", epoch=epoch)
+        result = _scan(
+            world,
+            ScanConfig(pps=paced, seed=seed + day),
+            ordered,
+            name=f"direct-day{day}",
+            epoch=epoch,
+            runner=runner,
+        )
         # Count a router visible only if it answered from the probed address.
         responsive = {
             record.source
@@ -226,14 +248,20 @@ def run_stability(
     pps: float = 50_000.0,
     scan_duration: float = 6.0,
     seed: int = 41,
+    runner: ShardedScanRunner | None = None,
 ) -> StabilityReport:
     """Fig. 6b: does re-probing an SRA reveal the same router IP?"""
     report = StabilityReport()
-    paced = _paced_pps(len(sra_targets), scan_duration, pps)
+    paced = paced_pps(len(sra_targets), scan_duration, pps)
     for epoch in range(epochs):
-        engine = SimulationEngine(world, epoch=epoch)
-        scanner = ZMapV6Scanner(engine, ScanConfig(pps=paced, seed=seed + epoch))
-        result = scanner.scan(sra_targets, name=f"stability-{epoch}", epoch=epoch)
+        result = _scan(
+            world,
+            ScanConfig(pps=paced, seed=seed + epoch),
+            sra_targets,
+            name=f"stability-{epoch}",
+            epoch=epoch,
+            runner=runner,
+        )
         mapping = result.target_to_source()
         if epoch == 0:
             report.baseline = mapping
@@ -249,13 +277,19 @@ def run_direct_discovery(
     scan_duration: float = 6.0,
     seed: int = 53,
     epoch: int = 500,
+    runner: ShardedScanRunner | None = None,
 ) -> set[int]:
     """One direct scan of known router addresses — the baseline for the
     "SRA discovers 80 % more than direct targeting" comparison."""
-    engine = SimulationEngine(world, epoch=epoch)
-    paced = _paced_pps(len(router_ips), scan_duration, pps)
-    scanner = ZMapV6Scanner(engine, ScanConfig(pps=paced, seed=seed))
-    result = scanner.scan(sorted(router_ips), name="direct", epoch=epoch)
+    paced = paced_pps(len(router_ips), scan_duration, pps)
+    result = _scan(
+        world,
+        ScanConfig(pps=paced, seed=seed),
+        sorted(router_ips),
+        name="direct",
+        epoch=epoch,
+        runner=runner,
+    )
     return {
         record.source
         for record in result.records

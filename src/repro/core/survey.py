@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 from ..hitlist.aliases import AliasedPrefixList
 from ..hitlist.hitlist import Hitlist
-from ..netsim.engine import SimulationEngine
+from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
+from ..scanner.sharded import ShardedScanRunner
 from ..scanner.targets import (
     TargetList,
     bgp_plain_targets,
@@ -23,7 +24,7 @@ from ..scanner.targets import (
     hitlist_slash64_targets,
     route6_slash64_targets,
 )
-from ..scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from ..scanner.zmapv6 import ScanConfig
 from ..topology.entities import World
 from .aliasfilter import AliasFilterStats, filter_aliased
 
@@ -57,6 +58,12 @@ class SurveyConfig:
     max_route6: int | None = 200_000
     max_hitlist: int | None = None
     apply_alias_filter: bool = True
+    # Parallel scan execution: number of zmap-style shards each input-set
+    # scan is split into, and the executor kind ("auto", "process",
+    # "thread", "serial").  Sharded merges are deterministic, so these
+    # knobs change wall-clock time only, never results.
+    shards: int = 1
+    parallel: str = "auto"
 
 
 @dataclass(slots=True)
@@ -162,11 +169,15 @@ class SRASurvey:
         *,
         alias_list: AliasedPrefixList | None = None,
         config: SurveyConfig | None = None,
+        runner: ShardedScanRunner | None = None,
     ) -> None:
         self.world = world
         self.hitlist = hitlist
         self.alias_list = alias_list
         self.config = config or SurveyConfig()
+        self.runner = runner or ShardedScanRunner(
+            world, shards=self.config.shards, executor=self.config.parallel
+        )
 
     # ---------------- input sets ---------------- #
 
@@ -206,19 +217,13 @@ class SRASurvey:
     def run_input_set(
         self, name: str, targets: TargetList, *, epoch: int = 0
     ) -> InputSetResult:
-        engine = SimulationEngine(self.world, epoch=epoch)
-        pps = self.config.pps
-        if self.config.scan_duration > 0 and len(targets) > 0:
-            pps = min(pps, max(100.0, len(targets) / self.config.scan_duration))
-        scanner = ZMapV6Scanner(
-            engine,
-            ScanConfig(
-                pps=pps,
-                hop_limit=self.config.hop_limit,
-                seed=self.config.seed,
-            ),
+        pps = paced_pps(len(targets), self.config.scan_duration, self.config.pps)
+        scan_config = ScanConfig(
+            pps=pps,
+            hop_limit=self.config.hop_limit,
+            seed=self.config.seed,
         )
-        raw = scanner.scan(targets, name=name, epoch=epoch)
+        raw = self.runner.scan(targets, scan_config, name=name, epoch=epoch)
         alias_stats: AliasFilterStats | None = None
         if self.config.apply_alias_filter:
             raw, alias_stats = filter_aliased(raw, self.alias_list)

@@ -48,6 +48,23 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentReport]] = {
 }
 
 
+def resolve_experiment_ids(requested: list[str]) -> list[str]:
+    """Expand 'all' and dedupe ids while preserving first-seen order.
+
+    ``sra-repro table2 table2`` must run table2 once, not twice.  Raises
+    ``ValueError`` for unknown ids.
+    """
+    if not requested or "all" in requested:
+        return sorted(EXPERIMENTS)
+    for experiment_id in requested:
+        if experiment_id not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {experiment_id!r} "
+                f"(choose from {', '.join(sorted(EXPERIMENTS))})"
+            )
+    return list(dict.fromkeys(requested))
+
+
 def run_experiment(
     experiment_id: str, context: ExperimentContext
 ) -> ExperimentReport:
@@ -82,26 +99,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split every scan across N parallel shards "
+        "(default: one per core; results are identical at any count)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
 
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
 
-    requested = list(args.experiments)
-    if not requested or "all" in requested:
-        requested = sorted(EXPERIMENTS)
-    for experiment_id in requested:
-        if experiment_id not in EXPERIMENTS:
-            parser.error(
-                f"unknown experiment {experiment_id!r} "
-                f"(choose from {', '.join(sorted(EXPERIMENTS))})"
-            )
+    try:
+        requested = resolve_experiment_ids(list(args.experiments))
+    except ValueError as error:
+        parser.error(str(error))
 
-    context = get_context(args.scale, seed=args.seed)
+    context = get_context(args.scale, seed=args.seed, shards=args.shards)
     for experiment_id in requested:
         started = time.perf_counter()
         report = run_experiment(experiment_id, context)

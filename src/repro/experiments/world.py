@@ -16,6 +16,7 @@ Two scales ship by default:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from functools import cached_property
 
@@ -40,6 +41,7 @@ from ..hitlist.hitlist import Hitlist
 from ..metadata.asn import ASNMapper
 from ..metadata.astype import ASTypeDatabase
 from ..metadata.geoip import GeoIPDatabase
+from ..scanner.sharded import ShardedScanRunner
 from ..topology.config import WorldConfig
 from ..topology.entities import World
 from ..topology.generator import build_world
@@ -65,6 +67,15 @@ class ExperimentScale:
     ixp_sample_rate: int = 256
 
 
+def _auto_shards(limit: int = 4) -> int:
+    """Shard count for experiment contexts: one per core, capped.
+
+    Sharded merges are deterministic, so any value yields identical
+    tables/figures — this only tunes wall-clock time.
+    """
+    return max(1, min(limit, os.cpu_count() or 1))
+
+
 def quick_scale(seed: int = 2024) -> ExperimentScale:
     return ExperimentScale(
         name="quick",
@@ -85,6 +96,10 @@ def quick_scale(seed: int = 2024) -> ExperimentScale:
             route6_per_prefix=64,
             max_route6=50_000,
             max_hitlist=30_000,
+            shards=_auto_shards(),
+            # Threads keep the quick scale light-weight (no per-run world
+            # pickling) and safe under pytest workers.
+            parallel="thread",
         ),
         fig5_targets=8_000,
         fig5_epochs=4,
@@ -111,6 +126,8 @@ def full_scale(seed: int = 2024) -> ExperimentScale:
             route6_per_prefix=96,
             max_route6=200_000,
             max_hitlist=None,
+            shards=_auto_shards(),
+            parallel="auto",
         ),
         fig5_targets=25_000,
         fig5_epochs=6,
@@ -165,12 +182,22 @@ class ExperimentContext:
     # ---------------- campaigns ---------------- #
 
     @cached_property
+    def runner(self) -> ShardedScanRunner:
+        """The shared parallel scan executor for every campaign."""
+        return ShardedScanRunner(
+            self.world,
+            shards=self.scale.survey_config.shards,
+            executor=self.scale.survey_config.parallel,
+        )
+
+    @cached_property
     def survey(self) -> SurveyResult:
         return SRASurvey(
             self.world,
             self.hitlist,
             alias_list=self.alias_list,
             config=self.scale.survey_config,
+            runner=self.runner,
         ).run()
 
     @cached_property
@@ -199,7 +226,7 @@ class ExperimentContext:
         if len(targets) > self.scale.fig5_targets:
             targets = random.Random(5).sample(targets, self.scale.fig5_targets)
         return run_sra_vs_random(
-            self.world, targets, epochs=self.scale.fig5_epochs
+            self.world, targets, epochs=self.scale.fig5_epochs, runner=self.runner
         )
 
     @cached_property
@@ -212,7 +239,10 @@ class ExperimentContext:
                 targets, self.scale.stability_targets
             )
         return run_stability(
-            self.world, targets, epochs=self.scale.stability_epochs
+            self.world,
+            targets,
+            epochs=self.scale.stability_epochs,
+            runner=self.runner,
         )
 
     @cached_property
@@ -227,7 +257,10 @@ class ExperimentContext:
                 )
             )
         return run_visibility(
-            self.world, routers, days=self.scale.visibility_days
+            self.world,
+            routers,
+            days=self.scale.visibility_days,
+            runner=self.runner,
         )
 
     @cached_property
@@ -267,12 +300,18 @@ class ExperimentContext:
         return LoopAnalysis.from_scans(bgp48.result)
 
 
-_CONTEXTS: dict[tuple[str, int], ExperimentContext] = {}
+_CONTEXTS: dict[tuple[str, int, int | None], ExperimentContext] = {}
 
 
-def get_context(scale: str = "quick", *, seed: int = 2024) -> ExperimentContext:
-    """Process-level memoised context (scales: 'quick', 'full')."""
-    key = (scale, seed)
+def get_context(
+    scale: str = "quick", *, seed: int = 2024, shards: int | None = None
+) -> ExperimentContext:
+    """Process-level memoised context (scales: 'quick', 'full').
+
+    ``shards`` overrides the scale's automatic shard count (results are
+    identical either way; this tunes parallel scan execution only).
+    """
+    key = (scale, seed, shards)
     if key not in _CONTEXTS:
         try:
             factory = SCALES[scale]
@@ -280,7 +319,13 @@ def get_context(scale: str = "quick", *, seed: int = 2024) -> ExperimentContext:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
             ) from None
-        _CONTEXTS[key] = ExperimentContext(scale=factory(seed))
+        built = factory(seed)
+        if shards is not None:
+            built = replace(
+                built,
+                survey_config=replace(built.survey_config, shards=shards),
+            )
+        _CONTEXTS[key] = ExperimentContext(scale=built)
     return _CONTEXTS[key]
 
 

@@ -112,13 +112,27 @@ class SimulationEngine:
     routers.
     """
 
-    def __init__(self, world: World, *, epoch: int = 0, background_window: float = 1.0) -> None:
+    def __init__(
+        self,
+        world: World,
+        *,
+        epoch: int = 0,
+        background_window: float = 1.0,
+        defer_rate_limit: bool = False,
+    ) -> None:
         if world.vantage is None:
             raise ValueError("world has no vantage point")
         self.world = world
         self.epoch = epoch
         self.background_window = background_window
         self.stats = EngineStats()
+        # Deferred mode: `_error_allowed` records (time, router_id) and lets
+        # every error through.  A sharded scan runs each shard deferred, then
+        # replays the recorded checks in global time order on a fresh engine —
+        # the rate limiter is the engine's only cross-probe mutable state, so
+        # the replay reproduces the serial outcome exactly (scanner/sharded).
+        self.defer_rate_limit = defer_rate_limit
+        self.pending_checks: list[tuple[float, int]] = []
         self._buckets: dict[int, TokenBucket] = {}
         self._bg_load: dict[int, float] = {}
 
@@ -130,6 +144,7 @@ class SimulationEngine:
         """Start a new scan epoch: reset buckets, caches, and counters."""
         self.epoch = epoch
         self.stats = EngineStats()
+        self.pending_checks.clear()
         self._buckets.clear()
         self._bg_load.clear()
 
@@ -514,7 +529,16 @@ class SimulationEngine:
         self.stats.error_replies += 1
         return Reply(source, icmp_type, int(code), router_id=router.router_id)
 
+    def error_allowed(self, router_id: int, time: float) -> bool:
+        """Evaluate one rate-limit check by router id — the replay hook used
+        when merging deferred-mode shards.  Calls for one router must arrive
+        with non-decreasing timestamps, as during a live scan."""
+        return self._error_allowed(self.world.routers[router_id], time)
+
     def _error_allowed(self, router: Router, time: float) -> bool:
+        if self.defer_rate_limit:
+            self.pending_checks.append((time, router.router_id))
+            return True
         load = self._bg_load.get(router.router_id)
         if load is None:
             jitter = 0.5 + stable_unit(

@@ -1,6 +1,8 @@
-"""ZMapv6-style stateless scanner: targets, pacing, records."""
+"""ZMapv6-style stateless scanner: targets, pacing, records, sharding."""
 
+from .pacing import paced_pps
 from .records import ScanRecord, ScanResult, iter_router_ips, merge_results
+from .sharded import ShardedScanRunner, auto_shard_count
 from .targets import (
     TargetList,
     bgp_plain_targets,
@@ -16,9 +18,12 @@ __all__ = [
     "ScanConfig",
     "ScanRecord",
     "ScanResult",
+    "ShardedScanRunner",
     "TargetList",
     "ZMapV6Scanner",
+    "auto_shard_count",
     "bgp_plain_targets",
+    "paced_pps",
     "bgp_slash48_targets",
     "bgp_slash64_targets",
     "hitlist_slash64_targets",

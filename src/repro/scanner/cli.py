@@ -19,10 +19,10 @@ import sys
 
 from ..core.aliasfilter import filter_aliased
 from ..datasets.tum import harvest_hitlist, published_alias_list
-from ..netsim.engine import SimulationEngine
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
 from .records import ScanResult
+from .sharded import ShardedScanRunner, auto_shard_count
 from .targets import (
     TargetList,
     bgp_plain_targets,
@@ -31,7 +31,7 @@ from .targets import (
     hitlist_slash64_targets,
     route6_slash64_targets,
 )
-from .zmapv6 import ScanConfig, ZMapV6Scanner
+from .zmapv6 import ScanConfig
 
 INPUT_SETS = ("bgp-plain", "bgp-48", "bgp-64", "route6-64", "hitlist-64")
 
@@ -79,12 +79,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--hop-limit", type=int, default=64)
     parser.add_argument("--epoch", type=int, default=0, help="scan epoch")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split the scan across N parallel shards (0 = one per core); "
+        "results are bit-identical at any shard count",
+    )
+    parser.add_argument(
+        "--parallel",
+        choices=("auto", "process", "thread", "serial"),
+        default="auto",
+        help="executor for sharded scans",
+    )
     parser.add_argument("--no-alias-filter", action="store_true")
     parser.add_argument("--output", help="write records as CSV")
     parser.add_argument("--jsonl", help="write records as JSONL")
     parser.add_argument("--pcap", help="also write raw traffic as pcap")
     parser.add_argument("--summary", action="store_true", help="print totals")
     args = parser.parse_args(argv)
+    if args.shards < 0:
+        parser.error("--shards must be >= 1 (or 0 for one per core)")
 
     config = tiny_config(args.seed) if args.world == "tiny" else WorldConfig(seed=args.seed)
     world = build_world(config)
@@ -96,13 +111,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     pps = args.pps or max(100.0, len(targets) / args.duration)
-    engine = SimulationEngine(world, epoch=args.epoch)
-    scanner = ZMapV6Scanner(
-        engine,
+    shards = auto_shard_count() if args.shards == 0 else args.shards
+    runner = ShardedScanRunner(world, shards=shards, executor=args.parallel)
+    result: ScanResult = runner.scan(
+        list(targets),
         ScanConfig(pps=pps, hop_limit=args.hop_limit, seed=args.seed),
-    )
-    result: ScanResult = scanner.scan(
-        targets, name=args.input_set, epoch=args.epoch
+        name=args.input_set,
+        epoch=args.epoch,
     )
     if not args.no_alias_filter:
         result, _ = filter_aliased(result, published_alias_list(world))
@@ -127,6 +142,7 @@ def main(argv: list[str] | None = None) -> int:
         classes = result.classify_sources()
         print(f"input set  : {args.input_set} ({len(targets)} targets)")
         print(f"probe rate : {pps:.0f} pps (virtual)")
+        print(f"shards     : {shards} ({args.parallel})")
         print(f"replies    : {result.received} ({result.reply_rate:.1%} of targets)")
         print(f"router IPs : {len(result.sources())}")
         print(

@@ -1,0 +1,25 @@
+"""Shared probe-rate pacing policy.
+
+Real scans sweep their target space slowly (the paper: 28.2 B targets in
+~1.5 days); pacing each scan over a fixed *virtual* duration keeps the
+per-router probe rate — and therefore RFC 4443 bucket pressure — at
+realistic levels regardless of the scaled-down target count.  Both the
+survey and the probing-method campaigns use this one policy.
+"""
+
+from __future__ import annotations
+
+MIN_PPS = 100.0
+
+
+def paced_pps(target_count: int, duration: float, ceiling: float) -> float:
+    """Probe rate that sweeps ``target_count`` targets over ``duration``
+    virtual seconds, never below :data:`MIN_PPS` and capped at the
+    scanner's line rate ``ceiling``.
+
+    A non-positive ``duration`` or an empty target list disables pacing
+    and returns the ceiling unchanged.
+    """
+    if duration <= 0 or target_count <= 0:
+        return ceiling
+    return min(ceiling, max(MIN_PPS, target_count / duration))

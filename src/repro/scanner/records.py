@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..addr.ipv6 import format_address
 from ..packet.icmpv6 import ICMPv6Type
+
+if TYPE_CHECKING:  # avoid a hard scanner -> netsim import at module load
+    from ..netsim.engine import EngineStats
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +56,9 @@ class ScanResult:
     records: list[ScanRecord] = field(default_factory=list)
     loops_observed: int = 0
     duration: float = 0.0
+    # Snapshot of the driving engine's counters (suppressed errors, loop
+    # hits, ...) so observability survives merging and parallel execution.
+    engine_stats: "EngineStats | None" = None
 
     # ---------------- aggregate counters ---------------- #
 
@@ -160,15 +166,41 @@ class ScanResult:
 
 
 def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
-    """Concatenate several scans (e.g. shards) into one result."""
+    """Concatenate several scans (e.g. shards) into one result.
+
+    Shards of one scan run *concurrently* over the same virtual clock, so
+    the merged wall-clock duration is the maximum, not the sum.  The epoch
+    is carried over from the inputs (they are expected to agree; the first
+    result wins when they do not).
+    """
     merged = ScanResult(name=name)
+    stats_seen: list[EngineStats] = []
+    first = True
     for result in results:
+        if first:
+            merged.epoch = result.epoch
+            first = False
         merged.sent += result.sent
         merged.lost += result.lost
         merged.loops_observed += result.loops_observed
-        merged.duration += result.duration
+        merged.duration = max(merged.duration, result.duration)
         merged.records.extend(result.records)
+        if result.engine_stats is not None:
+            stats_seen.append(result.engine_stats)
+    if stats_seen:
+        merged.engine_stats = merge_engine_stats(stats_seen)
     return merged
+
+
+def merge_engine_stats(stats_list: "Iterable[EngineStats]") -> "EngineStats":
+    """Sum per-shard engine counters field by field."""
+    iterator = iter(stats_list)
+    first = next(iterator)
+    total = type(first)()
+    for stats in (first, *iterator):
+        for spec in fields(stats):
+            setattr(total, spec.name, getattr(total, spec.name) + getattr(stats, spec.name))
+    return total
 
 
 def iter_router_ips(results: Iterable[ScanResult]) -> Iterator[int]:

@@ -19,8 +19,8 @@ actually works on the wire format; large campaigns keep it off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
 
 from ..addr.permutation import CyclicPermutation
 from ..netsim.engine import ProbeResult, SimulationEngine
@@ -53,6 +53,8 @@ class ScanConfig:
             raise ValueError("pps must be positive")
         if not 1 <= self.hop_limit <= 255:
             raise ValueError("hop_limit must be in [1, 255]")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if not 0 <= self.shard < self.shards:
             raise ValueError("shard must be in [0, shards)")
 
@@ -78,12 +80,19 @@ class ZMapV6Scanner:
         target_list = targets if isinstance(targets, Sequence) else list(targets)
         result = ScanResult(name=name, epoch=self.engine.epoch)
         sent = 0
-        for index in self._probe_order(len(target_list)):
+        last_position = -1
+        for position, index in self._probe_positions(len(target_list)):
             target = target_list[index]
-            time = sent / config.pps
+            # Pace on the *global* permutation position, not the shard-local
+            # send counter: every shard of a multi-shard scan then shares one
+            # virtual clock, exactly as zmap's multi-machine shards share
+            # wall-clock time — and a sharded run becomes time-identical to
+            # the serial run of the same seed/epoch.
+            time = position / config.pps
             probe_id = (self.engine.epoch << 32) | index
             outcome = self._send_probe(target, time, probe_id)
             sent += 1
+            last_position = position
             if outcome.looped:
                 result.loops_observed += 1
             if outcome.lost:
@@ -101,23 +110,36 @@ class ZMapV6Scanner:
                     )
                 )
         result.sent = sent
-        result.duration = sent / config.pps
+        result.duration = (last_position + 1) / config.pps if sent else 0.0
+        result.engine_stats = replace(self.engine.stats)
         return result
 
     def _probe_order(self, size: int) -> Iterable[int]:
+        """The target indices this shard visits, in probe order."""
+        return (index for _, index in self._probe_positions(size))
+
+    def _probe_positions(self, size: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(global_position, target_index)`` for this shard.
+
+        The global position is the probe's slot in the full (serial)
+        visit order; a shard takes every ``shards``-th slot starting at
+        ``shard``, so per-shard streams are pairwise disjoint and their
+        union is exactly the serial order.
+        """
         config = self.config
         if size == 0:
-            return ()
+            return
         if not config.permute:
-            return range(config.shard, size, config.shards)
+            for index in range(config.shard, size, config.shards):
+                yield index, index
+            return
         permutation = CyclicPermutation(size, seed=config.seed ^ self.engine.epoch)
         if config.shards == 1:
-            return iter(permutation)
-        return (
-            index
-            for position, index in enumerate(permutation)
-            if position % config.shards == config.shard
-        )
+            yield from enumerate(permutation)
+            return
+        for position, index in enumerate(permutation):
+            if position % config.shards == config.shard:
+                yield position, index
 
     def _send_probe(self, target: int, time: float, probe_id: int) -> ProbeResult:
         config = self.config

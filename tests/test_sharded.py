@@ -1,0 +1,360 @@
+"""Sharded parallel scan execution: partitioning, merge, determinism."""
+
+import random
+
+import pytest
+
+from repro.core.survey import SRASurvey, SurveyConfig
+from repro.datasets.tum import harvest_hitlist, published_alias_list
+from repro.netsim.engine import EngineStats, SimulationEngine
+from repro.scanner.pacing import paced_pps
+from repro.scanner.records import ScanRecord, ScanResult, merge_results
+from repro.scanner.sharded import (
+    ShardedScanRunner,
+    auto_shard_count,
+    merge_shard_outcomes,
+    scan_shard,
+)
+from repro.scanner.targets import bgp_plain_targets, bgp_slash48_targets
+from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+
+
+@pytest.fixture(scope="module")
+def stress_targets(tiny_world):
+    """Targets that exercise every stateful engine path: enough error
+    traffic to saturate RFC 4443 buckets, plus loop-region addresses."""
+    targets = list(
+        bgp_slash48_targets(
+            tiny_world.bgp,
+            max_per_prefix=16,
+            max_targets=2_500,
+            rng=random.Random(0),
+        )
+    )
+    region = tiny_world.loop_regions[0]
+    targets.extend(region.prefix.network | offset for offset in range(1, 40))
+    return targets
+
+
+def serial_scan(world, targets, *, epoch, pps=200_000.0, seed=5):
+    engine = SimulationEngine(world, epoch=epoch)
+    scanner = ZMapV6Scanner(engine, ScanConfig(pps=pps, seed=seed))
+    return scanner.scan(targets, name="scan", epoch=epoch)
+
+
+class TestShardPartitioning:
+    """Per-shard index streams are pairwise disjoint and cover range(size)."""
+
+    @pytest.mark.parametrize("permute", [True, False])
+    @pytest.mark.parametrize(
+        "size,shards", [(1, 2), (10, 3), (97, 4), (256, 2), (500, 7)]
+    )
+    def test_disjoint_cover(self, tiny_world, size, shards, permute):
+        streams = []
+        for shard in range(shards):
+            engine = SimulationEngine(tiny_world, epoch=0)
+            scanner = ZMapV6Scanner(
+                engine,
+                ScanConfig(
+                    pps=1000, seed=9, shard=shard, shards=shards, permute=permute
+                ),
+            )
+            streams.append(list(scanner._probe_order(size)))
+        seen = set()
+        for stream in streams:
+            as_set = set(stream)
+            assert len(as_set) == len(stream)  # no duplicates within a shard
+            assert not (as_set & seen)  # pairwise disjoint
+            seen |= as_set
+        assert seen == set(range(size))  # union is exactly the index space
+
+    def test_positions_interleave_serial_order(self, tiny_world):
+        """Concatenating shard streams by global position reproduces the
+        serial visit order exactly."""
+        size, shards = 200, 3
+        serial_engine = SimulationEngine(tiny_world, epoch=0)
+        serial = list(
+            ZMapV6Scanner(
+                serial_engine, ScanConfig(pps=1000, seed=9)
+            )._probe_positions(size)
+        )
+        sharded = []
+        for shard in range(shards):
+            engine = SimulationEngine(tiny_world, epoch=0)
+            scanner = ZMapV6Scanner(
+                engine, ScanConfig(pps=1000, seed=9, shard=shard, shards=shards)
+            )
+            sharded.extend(scanner._probe_positions(size))
+        assert sorted(sharded) == serial
+
+
+class TestScanConfigValidation:
+    def test_zero_shards_has_its_own_error(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ScanConfig(shards=0)
+
+    def test_negative_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ScanConfig(shards=-3)
+
+    def test_shard_range_still_checked(self):
+        with pytest.raises(ValueError, match=r"shard must be in \[0, shards\)"):
+            ScanConfig(shard=2, shards=2)
+
+
+class TestPacedPps:
+    def test_caps_at_ceiling(self):
+        assert paced_pps(10**9, 6.0, 50_000.0) == 50_000.0
+
+    def test_floors_at_minimum(self):
+        assert paced_pps(10, 6.0, 50_000.0) == 100.0
+
+    def test_zero_duration_disables_pacing(self):
+        assert paced_pps(1000, 0.0, 50_000.0) == 50_000.0
+        assert paced_pps(1000, -1.0, 50_000.0) == 50_000.0
+
+    def test_no_targets_disables_pacing(self):
+        assert paced_pps(0, 6.0, 50_000.0) == 50_000.0
+
+    def test_paces_to_duration(self):
+        assert paced_pps(6000, 6.0, 50_000.0) == pytest.approx(1000.0)
+
+
+class TestMergeResults:
+    def _result(self, *, epoch, duration, sent=4):
+        result = ScanResult(name="shard", epoch=epoch, sent=sent, duration=duration)
+        result.records = [
+            ScanRecord(target=1, source=2, icmp_type=129, code=0, time=0.1)
+        ]
+        return result
+
+    def test_duration_is_max_not_sum(self):
+        merged = merge_results(
+            "all",
+            [
+                self._result(epoch=3, duration=2.0),
+                self._result(epoch=3, duration=5.0),
+                self._result(epoch=3, duration=1.0),
+            ],
+        )
+        assert merged.duration == 5.0
+
+    def test_epoch_preserved(self):
+        merged = merge_results(
+            "all",
+            [self._result(epoch=7, duration=1.0), self._result(epoch=7, duration=2.0)],
+        )
+        assert merged.epoch == 7
+
+    def test_counters_still_sum(self):
+        merged = merge_results(
+            "all",
+            [self._result(epoch=0, duration=1.0), self._result(epoch=0, duration=1.0)],
+        )
+        assert merged.sent == 8
+        assert len(merged.records) == 2
+
+    def test_engine_stats_summed(self):
+        first = self._result(epoch=0, duration=1.0)
+        second = self._result(epoch=0, duration=1.0)
+        first.engine_stats = EngineStats(probes=10, suppressed_errors=2)
+        second.engine_stats = EngineStats(probes=5, suppressed_errors=1)
+        merged = merge_results("all", [first, second])
+        assert merged.engine_stats == EngineStats(probes=15, suppressed_errors=3)
+
+    def test_empty_merge(self):
+        merged = merge_results("all", [])
+        assert merged.sent == 0 and merged.epoch == 0 and merged.duration == 0.0
+
+
+class TestDeterminism:
+    """A sharded run is bit-for-bit identical to the serial run."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    @pytest.mark.parametrize("shards", [2, 3, 5])
+    def test_identical_to_serial(self, tiny_world, stress_targets, shards, executor):
+        serial = serial_scan(tiny_world, stress_targets, epoch=2)
+        # The scan must actually exercise the stateful rate limiter and the
+        # loop amplifier, else this test proves nothing.
+        assert serial.engine_stats.suppressed_errors > 0
+        assert serial.loops_observed > 0
+        runner = ShardedScanRunner(tiny_world, shards=shards, executor=executor)
+        merged = runner.scan(
+            stress_targets, ScanConfig(pps=200_000.0, seed=5), name="scan", epoch=2
+        )
+        assert merged.records == serial.records  # full record list, in order
+        assert merged.sources() == serial.sources()
+        assert merged.sent == serial.sent
+        assert merged.lost == serial.lost
+        assert merged.loops_observed == serial.loops_observed
+        assert merged.duration == serial.duration
+        assert merged.epoch == serial.epoch
+        assert merged.engine_stats == serial.engine_stats
+
+    def test_identical_across_epochs(self, tiny_world, stress_targets):
+        for epoch in (0, 1, 4):
+            serial = serial_scan(tiny_world, stress_targets, epoch=epoch)
+            runner = ShardedScanRunner(tiny_world, shards=3, executor="thread")
+            merged = runner.scan(
+                stress_targets,
+                ScanConfig(pps=200_000.0, seed=5),
+                name="scan",
+                epoch=epoch,
+            )
+            assert merged.records == serial.records
+
+    def test_process_pool_identical(self, tiny_world):
+        targets = list(bgp_plain_targets(tiny_world.bgp))[:300]
+        serial = serial_scan(tiny_world, targets, epoch=1, pps=50_000.0)
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="process")
+        merged = runner.scan(
+            targets, ScanConfig(pps=50_000.0, seed=5), name="scan", epoch=1
+        )
+        assert merged.records == serial.records
+        assert merged.engine_stats == serial.engine_stats
+
+    def test_single_shard_short_circuits(self, tiny_world, stress_targets):
+        serial = serial_scan(tiny_world, stress_targets, epoch=0)
+        runner = ShardedScanRunner(tiny_world, shards=1)
+        merged = runner.scan(
+            stress_targets, ScanConfig(pps=200_000.0, seed=5), name="scan", epoch=0
+        )
+        assert merged.records == serial.records
+
+    def test_more_shards_than_targets(self, tiny_world):
+        targets = list(bgp_plain_targets(tiny_world.bgp))[:3]
+        serial = serial_scan(tiny_world, targets, epoch=0, pps=1000.0)
+        runner = ShardedScanRunner(tiny_world, shards=8, executor="serial")
+        merged = runner.scan(
+            targets, ScanConfig(pps=1000.0, seed=5), name="scan", epoch=0
+        )
+        assert merged.records == serial.records
+        assert merged.sent == len(targets)
+
+    def test_empty_targets(self, tiny_world):
+        runner = ShardedScanRunner(tiny_world, shards=4, executor="serial")
+        merged = runner.scan([], ScanConfig(pps=1000.0), name="scan", epoch=0)
+        assert merged.sent == 0 and merged.records == []
+
+
+class TestShardPrimitives:
+    def test_scan_shard_records_checks(self, tiny_world, stress_targets):
+        outcome = scan_shard(
+            tiny_world,
+            ScanConfig(pps=200_000.0, seed=5),
+            stress_targets,
+            name="scan",
+            epoch=2,
+            shard=0,
+            shards=2,
+        )
+        assert outcome.shard == 0
+        assert outcome.checks  # deferred rate-limit checks were recorded
+        # Deferred mode never suppresses during the shard run itself.
+        assert outcome.stats.suppressed_errors == 0
+        times = [time for time, _ in outcome.checks]
+        assert times == sorted(times)
+
+    def test_merge_applies_rate_limit(self, tiny_world, stress_targets):
+        outcomes = [
+            scan_shard(
+                tiny_world,
+                ScanConfig(pps=200_000.0, seed=5),
+                stress_targets,
+                name="scan",
+                epoch=2,
+                shard=shard,
+                shards=2,
+            )
+            for shard in range(2)
+        ]
+        merged = merge_shard_outcomes(
+            tiny_world, outcomes, name="scan", epoch=2
+        )
+        assert merged.engine_stats.suppressed_errors > 0
+        provisional = sum(len(o.result.records) for o in outcomes)
+        assert len(merged.records) == provisional  # records already pruned
+
+    def test_auto_shard_count_bounds(self):
+        assert 1 <= auto_shard_count() <= 8
+
+    def test_invalid_executor_rejected(self, tiny_world):
+        with pytest.raises(ValueError, match="executor"):
+            ShardedScanRunner(tiny_world, shards=2, executor="rocket")
+
+    def test_invalid_shards_rejected(self, tiny_world):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedScanRunner(tiny_world, shards=0)
+
+
+class TestSurveyParallel:
+    def test_sharded_survey_matches_serial(self, tiny_world):
+        hitlist = harvest_hitlist(tiny_world, seed=97)
+        alias_list = published_alias_list(tiny_world, seed=101)
+
+        def run(shards):
+            config = SurveyConfig(
+                seed=11,
+                max_bgp_48=2_000,
+                max_bgp_64=2_000,
+                max_route6=2_000,
+                max_hitlist=2_000,
+                shards=shards,
+                parallel="thread",
+            )
+            return SRASurvey(
+                tiny_world, hitlist, alias_list=alias_list, config=config
+            ).run()
+
+        serial = run(1)
+        sharded = run(3)
+        assert sharded.table2_rows() == serial.table2_rows()
+        for name, result in serial.input_sets.items():
+            other = sharded.input_sets[name]
+            assert other.result.records == result.result.records
+            assert other.router_ips == result.router_ips
+
+
+class TestRunnerCLI:
+    def test_experiment_ids_deduped_in_order(self):
+        from repro.experiments.runner import resolve_experiment_ids
+
+        assert resolve_experiment_ids(["table2", "table2"]) == ["table2"]
+        assert resolve_experiment_ids(["fig5", "table2", "fig5"]) == [
+            "fig5",
+            "table2",
+        ]
+
+    def test_all_expands_sorted(self):
+        from repro.experiments.runner import EXPERIMENTS, resolve_experiment_ids
+
+        assert resolve_experiment_ids(["all"]) == sorted(EXPERIMENTS)
+        assert resolve_experiment_ids([]) == sorted(EXPERIMENTS)
+
+    def test_unknown_id_raises(self):
+        from repro.experiments.runner import resolve_experiment_ids
+
+        with pytest.raises(ValueError, match="unknown experiment"):
+            resolve_experiment_ids(["table99"])
+
+    def test_sra_scan_cli_sharded(self, capsys):
+        from repro.scanner import cli
+
+        code = cli.main(
+            [
+                "--world",
+                "tiny",
+                "--seed",
+                "7",
+                "--input-set",
+                "bgp-plain",
+                "--shards",
+                "2",
+                "--parallel",
+                "thread",
+                "--summary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards     : 2 (thread)" in out
