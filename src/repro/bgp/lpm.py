@@ -5,38 +5,63 @@ handful of other prefix lengths.  A per-bit trie would allocate millions of
 nodes; instead we keep one hash table per distinct prefix length and probe
 them longest-first — the classic "DIR" LPM scheme.  Lookups cost one dict
 probe per distinct length present (≈8 in practice).
+
+Hot-path structure: the probe loop walks ``_tables_desc``, a flat list of
+``(length, mask, table)`` rows sorted longest-first that contains only
+non-empty tables (``remove`` prunes; nothing ever iterates an empty
+per-length dict).  On top sits a bounded LRU result cache keyed by the
+covering ``/k`` of the address, where ``k`` is the longest stored prefix
+length (≥ 48 — the paper's scans are /48- and /64-grained): two addresses
+sharing their top ``k`` bits match identically at every stored length, so
+one cached result answers for the whole covering block.  Any mutation
+invalidates the cache, keeping lookups bit-identical to the uncached path.
 """
 
 from __future__ import annotations
 
 from typing import Generic, Iterator, TypeVar
 
-from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix, MAX_ADDRESS
+from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix, prefix_mask
 
 V = TypeVar("V")
+
+_MISS = object()
+
+# Cache granularity never finer than /48: the survey's target generators
+# emit many /64s per covering /48, which is exactly the reuse we want.
+_MIN_CACHE_BITS = 48
+DEFAULT_CACHE_SIZE = 8192
 
 
 class LengthIndexedLPM(Generic[V]):
     """Longest-prefix-match map optimised for few distinct lengths."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._by_length: dict[int, dict[int, V]] = {}
-        self._lengths_desc: list[int] = []
-        self._masks: list[int] = []
+        # (length, mask, table) longest-first; non-empty tables only.
+        self._tables_desc: list[tuple[int, int, dict[int, V]]] = []
         self._size = 0
+        self._cache_size = cache_size
+        self._cache: dict[int, tuple[IPv6Prefix, V] | None] = {}
+        self._cache_shift = ADDRESS_BITS - _MIN_CACHE_BITS
 
     def __len__(self) -> int:
         return self._size
 
     def insert(self, prefix: IPv6Prefix, value: V) -> None:
         table = self._by_length.get(prefix.length)
-        if table is None:
+        new_length = table is None
+        if new_length:
             table = {}
             self._by_length[prefix.length] = table
-            self._rebuild_lengths()
         if prefix.network not in table:
             self._size += 1
         table[prefix.network] = value
+        if new_length:
+            # Lookup rows reference the table dict, so only a new length
+            # needs a rebuild (after populating — empty tables are pruned).
+            self._rebuild_tables()
+        self._cache.clear()
 
     def remove(self, prefix: IPv6Prefix) -> bool:
         table = self._by_length.get(prefix.length)
@@ -46,17 +71,24 @@ class LengthIndexedLPM(Generic[V]):
         self._size -= 1
         if not table:
             del self._by_length[prefix.length]
-            self._rebuild_lengths()
+            self._rebuild_tables()
+        self._cache.clear()
         return True
 
-    def _rebuild_lengths(self) -> None:
-        self._lengths_desc = sorted(self._by_length, reverse=True)
-        self._masks = [
-            (MAX_ADDRESS ^ ((1 << (ADDRESS_BITS - length)) - 1))
-            if length
-            else 0
-            for length in self._lengths_desc
+    def _rebuild_tables(self) -> None:
+        """Recompute the lookup rows and drop every cached result.
+
+        Called on any mutation — correctness of the LRU cache depends on
+        it.  Empty per-length tables are pruned here, so ``longest_match``
+        never probes a dict that cannot match.
+        """
+        self._tables_desc = [
+            (length, prefix_mask(length), self._by_length[length])
+            for length in sorted(self._by_length, reverse=True)
+            if self._by_length[length]
         ]
+        longest = self._tables_desc[0][0] if self._tables_desc else 0
+        self._cache_shift = ADDRESS_BITS - max(_MIN_CACHE_BITS, longest)
 
     def get(self, prefix: IPv6Prefix, default: V | None = None) -> V | None:
         table = self._by_length.get(prefix.length)
@@ -65,31 +97,47 @@ class LengthIndexedLPM(Generic[V]):
         return table.get(prefix.network, default)
 
     def longest_match(self, address: int) -> tuple[IPv6Prefix, V] | None:
-        for length, mask in zip(self._lengths_desc, self._masks):
+        cache = self._cache
+        cache_key = address >> self._cache_shift
+        found = cache.pop(cache_key, _MISS)
+        if found is not _MISS:
+            cache[cache_key] = found  # LRU touch: re-insert as most recent
+            return found  # type: ignore[return-value]
+        result: tuple[IPv6Prefix, V] | None = None
+        for length, mask, table in self._tables_desc:
             network = address & mask
-            table = self._by_length[length]
-            value = table.get(network)
-            if value is not None:
-                return IPv6Prefix(network, length), value
-        return None
+            # Sentinel default: a stored value of None still matches,
+            # mirroring PrefixTrie semantics.
+            value = table.get(network, _MISS)
+            if value is not _MISS:
+                result = (IPv6Prefix(network, length), value)
+                break
+        if len(cache) >= self._cache_size:
+            try:
+                del cache[next(iter(cache))]
+            except (StopIteration, KeyError, RuntimeError):
+                # Threaded shards share this map; losing one eviction race
+                # is harmless (the cache is advisory, results are exact).
+                pass
+        cache[cache_key] = result
+        return result
 
     def has_cover(self, prefix: IPv6Prefix, *, strict: bool = False) -> bool:
         """True if a stored prefix covers ``prefix``.
 
         With ``strict`` the cover must be a proper supernet (shorter).
         """
-        for length, mask in zip(self._lengths_desc, self._masks):
+        for length, mask, table in self._tables_desc:
             if length > prefix.length or (strict and length == prefix.length):
                 continue
-            if (prefix.network & mask) in self._by_length[length]:
+            if (prefix.network & mask) in table:
                 return True
         return False
 
     def all_matches(self, address: int) -> Iterator[tuple[IPv6Prefix, V]]:
         """All stored prefixes containing ``address``, longest first."""
-        for length, mask in zip(self._lengths_desc, self._masks):
+        for length, mask, table in self._tables_desc:
             network = address & mask
-            table = self._by_length[length]
             if network in table:
                 yield IPv6Prefix(network, length), table[network]
 

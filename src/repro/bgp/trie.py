@@ -8,6 +8,13 @@ forwarding need.
 The trie is a plain binary trie keyed on address bits; at IPv6 scale in the
 simulator (tens of thousands of prefixes, lengths mostly 32–64) the depth is
 bounded and lookups are a few dozen integer operations.
+
+``longest_match`` — the alias filter's per-record containment probe — gets
+a bounded LRU result cache keyed by the address's covering block at the
+longest stored prefix length (never finer than /48): two addresses sharing
+those top bits walk identical trie paths, so one cached result answers for
+the whole block.  Every mutation invalidates the cache, so cached and
+uncached lookups are indistinguishable.
 """
 
 from __future__ import annotations
@@ -19,6 +26,9 @@ from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix
 V = TypeVar("V")
 
 _MISSING = object()
+
+_MIN_CACHE_BITS = 48
+DEFAULT_CACHE_SIZE = 8192
 
 
 class _Node(Generic[V]):
@@ -38,15 +48,25 @@ def _bit(address: int, depth: int) -> int:
 class PrefixTrie(Generic[V]):
     """A map from :class:`IPv6Prefix` to values with LPM queries."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._root: _Node[V] = _Node()
         self._size = 0
+        # Stored-prefix length census; the max drives the cache key width.
+        self._length_counts: dict[int, int] = {}
+        self._cache_size = cache_size
+        self._cache: dict[int, tuple[IPv6Prefix, V] | None] = {}
+        self._cache_shift = ADDRESS_BITS - _MIN_CACHE_BITS
 
     def __len__(self) -> int:
         return self._size
 
     def __contains__(self, prefix: IPv6Prefix) -> bool:
         return self.get(prefix, _MISSING) is not _MISSING
+
+    def _invalidate(self) -> None:
+        longest = max(self._length_counts, default=0)
+        self._cache_shift = ADDRESS_BITS - max(_MIN_CACHE_BITS, longest)
+        self._cache.clear()
 
     def insert(self, prefix: IPv6Prefix, value: V) -> None:
         """Insert or replace the value at ``prefix``."""
@@ -60,8 +80,12 @@ class PrefixTrie(Generic[V]):
             node = child
         if not node.has_value:
             self._size += 1
+            self._length_counts[prefix.length] = (
+                self._length_counts.get(prefix.length, 0) + 1
+            )
         node.has_value = True
         node.value = value
+        self._invalidate()
 
     def get(self, prefix: IPv6Prefix, default: object = None) -> object:
         """Exact-match lookup."""
@@ -98,6 +122,12 @@ class PrefixTrie(Generic[V]):
         node.has_value = False
         node.value = None
         self._size -= 1
+        count = self._length_counts.get(prefix.length, 0) - 1
+        if count > 0:
+            self._length_counts[prefix.length] = count
+        else:
+            self._length_counts.pop(prefix.length, None)
+        self._invalidate()
         for parent, bit in reversed(path):
             child = parent.children[bit]
             assert child is not None
@@ -108,23 +138,41 @@ class PrefixTrie(Generic[V]):
 
     def longest_match(self, address: int) -> tuple[IPv6Prefix, V] | None:
         """The most specific stored prefix containing ``address``."""
+        cache = self._cache
+        cache_key = address >> self._cache_shift
+        found = cache.pop(cache_key, _MISSING)
+        if found is not _MISSING:
+            cache[cache_key] = found  # LRU touch: re-insert as most recent
+            return found  # type: ignore[return-value]
         node = self._root
         best: tuple[int, V] | None = None
         depth = 0
+        shift = ADDRESS_BITS - 1
         while True:
             if node.has_value:
                 best = (depth, node.value)  # type: ignore[arg-type]
             if depth == ADDRESS_BITS:
                 break
-            child = node.children[_bit(address, depth)]
+            child = node.children[(address >> shift) & 1]
             if child is None:
                 break
             node = child
             depth += 1
+            shift -= 1
         if best is None:
-            return None
-        length, value = best
-        return IPv6Prefix.of(address, length), value
+            result = None
+        else:
+            length, value = best
+            result = (IPv6Prefix.of(address, length), value)
+        if len(cache) >= self._cache_size:
+            try:
+                del cache[next(iter(cache))]
+            except (StopIteration, KeyError, RuntimeError):
+                # Concurrent readers may race an eviction; the cache is
+                # advisory, so losing one eviction is harmless.
+                pass
+        cache[cache_key] = result
+        return result
 
     def all_matches(self, address: int) -> Iterator[tuple[IPv6Prefix, V]]:
         """All stored prefixes containing ``address``, shortest first."""

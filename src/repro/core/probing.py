@@ -111,6 +111,7 @@ def run_sra_vs_random(
     pps: float = 50_000.0,
     scan_duration: float = 6.0,
     seed: int = 23,
+    batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
 ) -> ComparisonSeries:
     """Fig. 5: paired SRA and random scans of the same /64 subnets."""
@@ -127,7 +128,7 @@ def run_sra_vs_random(
         ):
             result = _scan(
                 world,
-                ScanConfig(pps=paced, seed=seed + epoch),
+                ScanConfig(pps=paced, seed=seed + epoch, batch_size=batch_size),
                 targets,
                 name=f"{method}-epoch{epoch}",
                 epoch=epoch,
@@ -184,6 +185,7 @@ def run_visibility(
     scan_duration: float = 6.0,
     seed: int = 31,
     epoch_base: int = 1000,
+    batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
 ) -> VisibilityReport:
     """Probe each discovered router IP directly, once per day (Fig. 6a)."""
@@ -194,7 +196,7 @@ def run_visibility(
         epoch = epoch_base + day
         result = _scan(
             world,
-            ScanConfig(pps=paced, seed=seed + day),
+            ScanConfig(pps=paced, seed=seed + day, batch_size=batch_size),
             ordered,
             name=f"direct-day{day}",
             epoch=epoch,
@@ -248,6 +250,7 @@ def run_stability(
     pps: float = 50_000.0,
     scan_duration: float = 6.0,
     seed: int = 41,
+    batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
 ) -> StabilityReport:
     """Fig. 6b: does re-probing an SRA reveal the same router IP?"""
@@ -256,7 +259,7 @@ def run_stability(
     for epoch in range(epochs):
         result = _scan(
             world,
-            ScanConfig(pps=paced, seed=seed + epoch),
+            ScanConfig(pps=paced, seed=seed + epoch, batch_size=batch_size),
             sra_targets,
             name=f"stability-{epoch}",
             epoch=epoch,
@@ -277,6 +280,7 @@ def run_direct_discovery(
     scan_duration: float = 6.0,
     seed: int = 53,
     epoch: int = 500,
+    batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
 ) -> set[int]:
     """One direct scan of known router addresses — the baseline for the
@@ -284,7 +288,7 @@ def run_direct_discovery(
     paced = paced_pps(len(router_ips), scan_duration, pps)
     result = _scan(
         world,
-        ScanConfig(pps=paced, seed=seed),
+        ScanConfig(pps=paced, seed=seed, batch_size=batch_size),
         sorted(router_ips),
         name="direct",
         epoch=epoch,

@@ -64,6 +64,10 @@ class SurveyConfig:
     # knobs change wall-clock time only, never results.
     shards: int = 1
     parallel: str = "auto"
+    # Probes per SimulationEngine.probe_batch() call (1 = legacy per-probe
+    # path).  Like the sharding knobs this is a pure throughput dial:
+    # results are bit-identical for any value.
+    batch_size: int = 1024
 
 
 @dataclass(slots=True)
@@ -222,6 +226,7 @@ class SRASurvey:
             pps=pps,
             hop_limit=self.config.hop_limit,
             seed=self.config.seed,
+            batch_size=self.config.batch_size,
         )
         raw = self.runner.scan(targets, scan_config, name=name, epoch=epoch)
         alias_stats: AliasFilterStats | None = None

@@ -24,6 +24,7 @@ probing exploits.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from ..packet.icmpv6 import ICMPv6Type, TimeExceededCode, UnreachableCode
@@ -38,13 +39,20 @@ from ..topology.entities import (
 )
 from ..topology.profiles import SRABehavior
 from .ratelimit import TokenBucket
-from .stochastic import stable_bool, stable_unit
+from .stochastic import base_hasher, stable_bool, stable_unit
 
 # Cap on materialised reply counts for amplified loops; counts above this
 # are reported truthfully in `Reply.count` but the engine never enumerates.
 AMPLIFICATION_CAP = 1 << 22  # ~4.2M replies per probe
 
 _PURPOSE_LOSS = b"loss"
+# Packed-word layouts for the inlined loss draw (see probe_batch): the
+# loss keys are (target, probe_id, epoch); a 128-bit target contributes
+# two words, exactly as stable_unit would pack them.
+_PACK_LOSS_3 = struct.Struct(">3q")
+_PACK_LOSS_4 = struct.Struct(">4q")
+_MASK63 = 0x7FFFFFFFFFFFFFFF
+_UNIT_SCALE = float(1 << 64)
 _PURPOSE_FLAKY = b"flaky"
 _PURPOSE_HOST = b"host"
 _PURPOSE_DIRECT = b"direct"
@@ -53,9 +61,14 @@ _PURPOSE_BG_WINDOW = b"bgwin"
 _PURPOSE_BG_JITTER = b"bgjit"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Reply:
-    """One (possibly replicated) ICMPv6 reply arriving at the vantage."""
+    """One (possibly replicated) ICMPv6 reply arriving at the vantage.
+
+    Treated as immutable by convention; not ``frozen=True`` because the
+    frozen ``__init__`` funnels every field through ``object.__setattr__``,
+    which costs ~3x on this allocation-heavy hot path.
+    """
 
     source: int
     icmp_type: ICMPv6Type
@@ -72,9 +85,12 @@ class Reply:
         return self.icmp_type.is_error
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ProbeResult:
-    """Everything a probe produced."""
+    """Everything a probe produced.
+
+    Immutable by convention (see :class:`Reply` for why not ``frozen``).
+    """
 
     target: int
     time: float
@@ -179,13 +195,13 @@ class SimulationEngine:
                 UnreachableCode.NO_ROUTE,
                 time,
             )
-            return self._result(target, time, replies=_as_tuple(reply))
+            return ProbeResult(target, time, self.epoch, replies=_as_tuple(reply))
 
         hops = world.paths.get(origin, ())
         transit = len(hops)
         if hop_limit <= transit:
             if hop_limit < 1:
-                return self._result(target, time)
+                return ProbeResult(target, time, self.epoch)
             hop = hops[hop_limit - 1]
             router = world.routers[hop.router_id]
             reply = self._emit_error(
@@ -195,8 +211,8 @@ class SimulationEngine:
                 TimeExceededCode.HOP_LIMIT_EXCEEDED,
                 time,
             )
-            return self._result(
-                target, time, replies=_as_tuple(reply), transit_hops=transit
+            return ProbeResult(
+                target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit
             )
 
         remaining = hop_limit - transit
@@ -212,6 +228,153 @@ class SimulationEngine:
         if entry.kind is EntryKind.INFRA:
             return self._probe_infra(target, time, entry.payload, transit)
         return self._probe_loop(target, time, entry.payload, remaining, transit)
+
+    def probe_batch(
+        self,
+        targets: list[int],
+        times: list[float],
+        *,
+        hop_limit: int = 64,
+        probe_ids: list[int] | None = None,
+    ) -> list[ProbeResult]:
+        """Send one Echo Request per target; bit-identical to calling
+        :meth:`probe` once per ``(target, time, probe_id)`` in order.
+
+        This is the scanner's hot path: per-probe Python overhead
+        (attribute lookups, stat increments, dispatch plumbing) is hoisted
+        out of the loop and amortised across the batch.  The routing
+        dispatch below mirrors :meth:`probe` exactly; destination
+        behaviours stay in the shared ``_probe_*`` helpers so the two
+        paths cannot drift apart behaviourally.
+        """
+        world = self.world
+        seed = world.seed
+        loss = world.packet_loss
+        epoch = self.epoch
+        routers = world.routers
+        origin_of = world.bgp.origin_of
+        paths_get = world.paths.get
+        resolve = world.resolution.longest_match
+        upstream = routers[world.vantage.upstream_router_id]  # type: ignore[union-attr]
+        upstream_source = self._router_error_source(upstream)
+        subnet_kind = EntryKind.SUBNET
+        alias_kind = EntryKind.ALIAS
+        infra_kind = EntryKind.INFRA
+
+        # Inlined loss draw: same digest stream as
+        # stable_bool(seed, b"loss", loss, target, probe_id, epoch), with
+        # the keyed hasher primed once and copied per probe.  Targets over
+        # 62 bits (every real IPv6 address) contribute a second packed
+        # word, exactly as stable_unit packs them.  Odd-shaped probe_ids
+        # or epochs (>62 bits) fall back to the generic draw.
+        loss_base = base_hasher(seed, _PURPOSE_LOSS)
+        draw_loss = loss > 0.0
+        pack3 = _PACK_LOSS_3.pack
+        pack4 = _PACK_LOSS_4.pack
+        epoch_word = epoch & _MASK63
+        simple_epoch = 0 <= epoch and epoch.bit_length() <= 62
+
+        results: list[ProbeResult] = []
+        append = results.append
+        probes = lost = 0
+        for index, target in enumerate(targets):
+            time = times[index]
+            probe_id = probe_ids[index] if probe_ids is not None else 0
+            probes += 1
+            if draw_loss:
+                if (
+                    simple_epoch
+                    and target >= 0
+                    and 0 <= probe_id
+                    and probe_id.bit_length() <= 62
+                ):
+                    hasher = loss_base.copy()
+                    if target.bit_length() > 62:
+                        hasher.update(
+                            pack4(
+                                target & _MASK63,
+                                (target >> 62) & _MASK63,
+                                probe_id,
+                                epoch_word,
+                            )
+                        )
+                    else:
+                        hasher.update(pack3(target, probe_id, epoch_word))
+                    lost_draw = (
+                        int.from_bytes(hasher.digest(), "big") / _UNIT_SCALE
+                        < loss
+                    )
+                else:
+                    lost_draw = stable_bool(
+                        seed, _PURPOSE_LOSS, loss, target, probe_id, epoch
+                    )
+                if lost_draw:
+                    lost += 1
+                    append(ProbeResult(target, time, epoch, lost=True))
+                    continue
+
+            origin = origin_of(target)
+            if origin is None:
+                reply = self._emit_error(
+                    upstream,
+                    upstream_source,
+                    ICMPv6Type.DESTINATION_UNREACHABLE,
+                    UnreachableCode.NO_ROUTE,
+                    time,
+                )
+                append(
+                    ProbeResult(
+                        target, time, epoch, replies=_as_tuple(reply)
+                    )
+                )
+                continue
+
+            hops = paths_get(origin, ())
+            transit = len(hops)
+            if hop_limit <= transit:
+                if hop_limit < 1:
+                    append(ProbeResult(target, time, epoch))
+                    continue
+                hop = hops[hop_limit - 1]
+                reply = self._emit_error(
+                    routers[hop.router_id],
+                    hop.interface,
+                    ICMPv6Type.TIME_EXCEEDED,
+                    TimeExceededCode.HOP_LIMIT_EXCEEDED,
+                    time,
+                )
+                append(
+                    ProbeResult(
+                        target,
+                        time,
+                        epoch,
+                        replies=_as_tuple(reply),
+                        transit_hops=transit,
+                    )
+                )
+                continue
+
+            match = resolve(target)
+            if match is None:
+                append(self._unassigned_space(target, time, origin, transit))
+                continue
+            entry = match[1]
+            kind = entry.kind
+            if kind is subnet_kind:
+                append(self._probe_subnet(target, time, entry.payload, transit))
+            elif kind is alias_kind:
+                append(self._probe_alias(target, time, entry.payload, transit))
+            elif kind is infra_kind:
+                append(self._probe_infra(target, time, entry.payload, transit))
+            else:
+                append(
+                    self._probe_loop(
+                        target, time, entry.payload, hop_limit - transit, transit
+                    )
+                )
+        self.stats.probes += probes
+        self.stats.lost += lost
+        return results
 
     # ------------------------------------------------------------------ #
     # destination behaviours
@@ -235,30 +398,30 @@ class SimulationEngine:
                 UnreachableCode.ADDRESS_UNREACHABLE,
                 time,
             )
-            return self._result(
-                target, time, replies=_as_tuple(reply), transit_hops=transit
+            return ProbeResult(
+                target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit
             )
         if subnet.aliased:
             # Aliased networks answer on *every* address — including the SRA
             # address itself, which is the alias filter's tell-tale.
             reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
             self.stats.echo_replies += 1
-            return self._result(target, time, replies=(reply,), transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, replies=(reply,), transit_hops=transit)
 
         router = world.routers[subnet.router_id]
         if target == subnet.sra_address:
             return self._probe_sra(target, time, subnet, router, transit)
         if target == subnet.router_interface:
             reply = self._direct_ping(router, subnet.router_interface)
-            return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit)
         if target in subnet.hosts:
             if stable_bool(
                 world.seed, _PURPOSE_HOST, 0.85, target, self.epoch
             ):
                 self.stats.echo_replies += 1
                 reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
-                return self._result(target, time, replies=(reply,), transit_hops=transit)
-            return self._result(target, time, transit_hops=transit)
+                return ProbeResult(target, time, self.epoch, replies=(reply,), transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, transit_hops=transit)
         # Unassigned address inside an active subnet.
         reply = self._emit_error(
             router,
@@ -267,14 +430,14 @@ class SimulationEngine:
             UnreachableCode.ADDRESS_UNREACHABLE,
             time,
         )
-        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+        return ProbeResult(target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit)
 
     def _probe_sra(
         self, target: int, time: float, subnet: Subnet, router: Router, transit: int
     ) -> ProbeResult:
         behavior = router.vendor.sra_behavior
         if behavior is SRABehavior.DROP:
-            return self._result(target, time, transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, transit_hops=transit)
         if behavior is SRABehavior.ERROR:
             reply = self._emit_error(
                 router,
@@ -283,13 +446,13 @@ class SimulationEngine:
                 UnreachableCode.ADDRESS_UNREACHABLE,
                 time,
             )
-            return self._result(
-                target, time, replies=_as_tuple(reply), transit_hops=transit
+            return ProbeResult(
+                target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit
             )
         source = self._sra_reply_source(router, subnet)
         self.stats.echo_replies += 1
         reply = Reply(source, ICMPv6Type.ECHO_REPLY, 0, router_id=router.router_id)
-        return self._result(target, time, replies=(reply,), transit_hops=transit)
+        return ProbeResult(target, time, self.epoch, replies=(reply,), transit_hops=transit)
 
     def _sra_reply_source(self, router: Router, subnet: Subnet) -> int:
         """The RFC says "its own full source address" — which interface that
@@ -310,7 +473,7 @@ class SimulationEngine:
     ) -> ProbeResult:
         self.stats.echo_replies += 1
         reply = Reply(target, ICMPv6Type.ECHO_REPLY, 0)
-        return self._result(target, time, replies=(reply,), transit_hops=transit)
+        return ProbeResult(target, time, self.epoch, replies=(reply,), transit_hops=transit)
 
     def _probe_infra(
         self, target: int, time: float, infra: InfraSubnet, transit: int
@@ -319,12 +482,12 @@ class SimulationEngine:
         if router_id is not None:
             router = self.world.routers[router_id]
             reply = self._direct_ping(router, target)
-            return self._result(
-                target, time, replies=_as_tuple(reply), transit_hops=transit
+            return ProbeResult(
+                target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit
             )
         border = self._border_router(infra.asn)
         if border is None:
-            return self._result(target, time, transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, transit_hops=transit)
         reply = self._emit_error(
             border,
             self._router_error_source(border),
@@ -332,7 +495,7 @@ class SimulationEngine:
             UnreachableCode.ADDRESS_UNREACHABLE,
             time,
         )
-        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+        return ProbeResult(target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit)
 
     def _probe_loop(
         self,
@@ -347,7 +510,7 @@ class SimulationEngine:
         self.stats.loops_hit += 1
         customer = world.routers[region.customer_router_id]
         if remaining < 1:
-            return self._result(target, time, looped=True, transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, looped=True, transit_hops=transit)
         # The packet ping-pongs customer<->provider; the Time Exceeded is
         # generated (and, with buggy firmware, massively replicated) at the
         # misconfigured customer edge router — the paper observes floods
@@ -369,9 +532,10 @@ class SimulationEngine:
                 count=count,
                 router_id=victim.router_id,
             )
-            return self._result(
+            return ProbeResult(
                 target,
                 time,
+                self.epoch,
                 replies=(reply,),
                 looped=True,
                 amplification=count,
@@ -384,9 +548,10 @@ class SimulationEngine:
             TimeExceededCode.HOP_LIMIT_EXCEEDED,
             time,
         )
-        return self._result(
+        return ProbeResult(
             target,
             time,
+            self.epoch,
             replies=_as_tuple(reply),
             looped=True,
             amplification=1 if reply else 0,
@@ -418,10 +583,10 @@ class SimulationEngine:
         """
         info = self.world.ases.get(asn)
         if info is not None and info.filters_unroutable:
-            return self._result(target, time, transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, transit_hops=transit)
         responsible = self._responsible_router(asn, target)
         if responsible is None:
-            return self._result(target, time, transit_hops=transit)
+            return ProbeResult(target, time, self.epoch, transit_hops=transit)
         if responsible.errors_from_primary and responsible.loopback:
             source = responsible.loopback
         else:
@@ -438,7 +603,7 @@ class SimulationEngine:
             UnreachableCode.NO_ROUTE,
             time,
         )
-        return self._result(target, time, replies=_as_tuple(reply), transit_hops=transit)
+        return ProbeResult(target, time, self.epoch, replies=_as_tuple(reply), transit_hops=transit)
 
     def _responsible_router(self, asn: int, target: int) -> Router | None:
         """The internal router whose aggregate covers the target's /56.
@@ -578,29 +743,6 @@ class SimulationEngine:
             )
             self._buckets[router.router_id] = bucket
         return bucket.allow(time)
-
-    def _result(
-        self,
-        target: int,
-        time: float,
-        *,
-        replies: tuple[Reply, ...] = (),
-        lost: bool = False,
-        looped: bool = False,
-        amplification: int = 0,
-        transit_hops: int = 0,
-    ) -> ProbeResult:
-        return ProbeResult(
-            target=target,
-            time=time,
-            epoch=self.epoch,
-            replies=replies,
-            lost=lost,
-            looped=looped,
-            amplification=amplification,
-            transit_hops=transit_hops,
-        )
-
 
 def _as_tuple(reply: Reply | None) -> tuple[Reply, ...]:
     return () if reply is None else (reply,)

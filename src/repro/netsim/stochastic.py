@@ -6,6 +6,16 @@ flips) cannot use Python's salted ``hash()`` or shared ``random.Random``
 state — re-running a scan would see a different world.  Instead every
 stochastic decision is a pure function of ``(world seed, purpose label,
 entity keys...)`` via a keyed BLAKE2 digest.
+
+Hot-path note: constructing a *keyed* BLAKE2b runs the key schedule (a
+full compression of the padded key block) on every call, which dominated
+the probe hot path — the engine draws one to three of these per probe.
+The schedule depends only on ``(seed, purpose)``, of which the simulator
+uses a handful, so we build each base hasher once, memoise it, and
+``.copy()`` it per draw; the copy is a plain state memcpy.  Key material
+is likewise packed with a single ``struct.pack`` call instead of one per
+key.  Digests are bit-identical to the naive implementation — pinned by
+``tests/test_stochastic_golden.py``.
 """
 
 from __future__ import annotations
@@ -15,19 +25,60 @@ import struct
 
 _SCALE = float(1 << 64)
 
+# (seed & 2**64-1, purpose) -> primed keyed hasher, copied per draw.  The
+# simulator uses ~10 purpose labels and one seed per world, so this stays
+# tiny; the bound guards pathological many-seed callers (each entry is a
+# few hundred bytes of BLAKE2 state).
+_BASE_HASHERS: dict[tuple[int, bytes], "hashlib._Hash"] = {}
+_BASE_HASHERS_MAX = 1024
+
+# struct.Struct instances for the common key counts avoid re-parsing the
+# format string; draws with more packed words fall back to struct.pack.
+_PACKERS = tuple(struct.Struct(f">{n}q") for n in range(9))
+
+_MASK63 = 0x7FFFFFFFFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def base_hasher(seed: int, purpose: bytes) -> "hashlib._Hash":
+    """The primed keyed hasher for ``(seed, purpose)``.
+
+    Callers on proven hot paths may ``.copy()`` this, feed the same packed
+    key words ``stable_unit`` would, and compare the digest themselves —
+    the engine's batch loop does exactly that for its per-probe loss draw.
+    Treat the returned object as read-only; ``update`` only copies.
+    """
+    return _base_hasher(seed, purpose)
+
+
+def _base_hasher(seed: int, purpose: bytes) -> "hashlib._Hash":
+    cache_key = (seed & _MASK64, purpose)
+    hasher = _BASE_HASHERS.get(cache_key)
+    if hasher is None:
+        if len(_BASE_HASHERS) >= _BASE_HASHERS_MAX:
+            _BASE_HASHERS.clear()
+        hasher = hashlib.blake2b(
+            purpose, digest_size=8, key=cache_key[0].to_bytes(8, "big")
+        )
+        _BASE_HASHERS[cache_key] = hasher
+    return hasher
+
 
 def stable_unit(seed: int, purpose: bytes, *keys: int) -> float:
     """A deterministic uniform float in [0, 1) keyed by seed+purpose+keys."""
-    hasher = hashlib.blake2b(
-        purpose,
-        digest_size=8,
-        key=(seed & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "big"),
-    )
-    for key in keys:
-        hasher.update(struct.pack(">q", key & 0x7FFFFFFFFFFFFFFF))
-        if key.bit_length() > 62:
-            # IPv6 addresses exceed 64 bits; mix in the high half too.
-            hasher.update(struct.pack(">q", (key >> 62) & 0x7FFFFFFFFFFFFFFF))
+    hasher = _base_hasher(seed, purpose).copy()
+    if keys:
+        words = []
+        for key in keys:
+            words.append(key & _MASK63)
+            if key.bit_length() > 62:
+                # IPv6 addresses exceed 64 bits; mix in the high half too.
+                words.append((key >> 62) & _MASK63)
+        count = len(words)
+        if count < len(_PACKERS):
+            hasher.update(_PACKERS[count].pack(*words))
+        else:
+            hasher.update(struct.pack(f">{count}q", *words))
     return int.from_bytes(hasher.digest(), "big") / _SCALE
 
 

@@ -21,9 +21,14 @@ if TYPE_CHECKING:  # avoid a hard scanner -> netsim import at module load
     from ..netsim.engine import EngineStats
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class ScanRecord:
-    """One reply: which probe triggered it and what came back."""
+    """One reply: which probe triggered it and what came back.
+
+    Immutable by convention; not ``frozen=True`` because scans create one
+    per matched reply and the frozen ``__init__``'s per-field
+    ``object.__setattr__`` detour costs ~3x on construction.
+    """
 
     target: int
     source: int

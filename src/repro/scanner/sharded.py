@@ -78,6 +78,12 @@ def scan_shard(
 
     Picklable by construction (module-level, plain-data arguments) so it
     can serve as the process-pool work function.
+
+    ``config.batch_size`` is passed through unchanged, so shard scans run
+    on the engine's batched hot path.  Batching composes with deferred
+    rate limiting because both preserve per-shard probe order: the
+    recorded ``(time, router_id)`` checks come out in exactly the order a
+    per-probe scan would record them, which the merge replay relies on.
     """
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
     scanner = ZMapV6Scanner(engine, replace(config, shard=shard, shards=shards))

@@ -65,6 +65,28 @@ class TestFormatAddress:
         with pytest.raises(AddressError):
             format_address(1 << 128)
 
+    def test_matches_stdlib_on_structured_and_random_values(self):
+        # The formatter is hand-rolled (RFC 5952 group math, no ipaddress
+        # object churn); pin it against the stdlib on values that exercise
+        # every zero-run shape plus a pseudo-random sweep.
+        import ipaddress
+        import random
+
+        values = [0, 1, MAX_ADDRESS, 0x20010DB8000000000000000000000001]
+        for group in range(8):  # single non-zero group in every position
+            values.append(0xBEEF << (16 * group))
+        for start in range(8):  # zero runs of every length and position
+            for length in range(1, 8 - start + 1):
+                address = MAX_ADDRESS
+                for group in range(start, start + length):
+                    address &= ~(0xFFFF << (16 * group))
+                values.append(address)
+        rng = random.Random(7)
+        values.extend(rng.getrandbits(128) for _ in range(2000))
+        values.extend(rng.getrandbits(64) << 64 for _ in range(500))
+        for value in values:
+            assert format_address(value) == str(ipaddress.IPv6Address(value))
+
 
 class TestMasks:
     def test_mask_zero(self):
@@ -89,6 +111,21 @@ class TestMasks:
     def test_host_bits(self):
         address = parse_address("2001:db8::42")
         assert host_bits(address, 64) == 0x42
+
+    def test_all_129_table_entries(self):
+        # prefix_mask/host_bits read precomputed 129-entry tables; verify
+        # every entry against the arithmetic definition.
+        for length in range(129):
+            expected = (MAX_ADDRESS << (128 - length)) & MAX_ADDRESS
+            assert prefix_mask(length) == expected
+            address = 0x20010DB8FEDCBA9876543210FFFF0001
+            assert host_bits(address, length) == address & (MAX_ADDRESS ^ expected)
+
+    def test_host_bits_invalid_length(self):
+        with pytest.raises(AddressError):
+            host_bits(1, 129)
+        with pytest.raises(AddressError):
+            host_bits(1, -1)
 
 
 class TestIPv6Prefix:

@@ -1,0 +1,198 @@
+"""Hot-path determinism regression tests.
+
+The batched probe engine, the LPM/trie result caches, and the memoised
+stable-randomness hashers are all pure throughput work: results must be
+bit-identical to the original per-probe path.  These tests pin that
+contract on the paper's two headline workloads — the Table 2 survey and
+the Fig. 5 SRA-vs-random campaign — through the single-probe path, the
+batched path, and 1/4/8-way sharded execution.
+"""
+
+import random
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.core.probing import run_sra_vs_random
+from repro.core.survey import INPUT_SET_NAMES, SRASurvey, SurveyConfig
+from repro.netsim.engine import SimulationEngine
+from repro.scanner.sharded import ShardedScanRunner
+from repro.scanner.targets import bgp_slash48_targets
+from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+
+
+@pytest.fixture(scope="module")
+def stress_targets(tiny_world):
+    """Targets covering every engine behaviour: routed subnets (SRA, rate
+    limiting), unassigned space, and amplifying loop regions."""
+    targets = list(
+        bgp_slash48_targets(
+            tiny_world.bgp,
+            max_per_prefix=12,
+            max_targets=2_000,
+            rng=random.Random(3),
+        )
+    )
+    for region in tiny_world.loop_regions[:2]:
+        targets.extend(region.prefix.network | offset for offset in range(1, 30))
+    return targets
+
+
+def scan_snapshot(result):
+    """Everything a scan produced, in comparable form."""
+    return (
+        result.records,
+        result.sent,
+        result.lost,
+        result.loops_observed,
+        result.duration,
+        asdict(result.engine_stats),
+    )
+
+
+class TestBatchPathEquivalence:
+    """probe_batch vs probe: identical ScanResults for any batch size."""
+
+    def _scan(self, world, targets, *, batch_size, epoch=0):
+        engine = SimulationEngine(world, epoch=epoch)
+        scanner = ZMapV6Scanner(
+            engine, ScanConfig(pps=150_000.0, seed=5, batch_size=batch_size)
+        )
+        return scanner.scan(targets, name="scan", epoch=epoch)
+
+    @pytest.mark.parametrize("batch_size", [2, 7, 256, 1024, 10**6])
+    def test_batched_scan_matches_single(
+        self, tiny_world, stress_targets, batch_size
+    ):
+        single = self._scan(tiny_world, stress_targets, batch_size=1)
+        batched = self._scan(
+            tiny_world, stress_targets, batch_size=batch_size
+        )
+        assert scan_snapshot(batched) == scan_snapshot(single)
+
+    def test_engine_probe_batch_matches_probe(self, tiny_world, stress_targets):
+        """Engine-level contract, independent of the scanner plumbing."""
+        targets = stress_targets[:600]
+        times = [i / 150_000.0 for i in range(len(targets))]
+        ids = [i for i in range(len(targets))]
+        serial_engine = SimulationEngine(tiny_world, epoch=2)
+        serial = [
+            serial_engine.probe(target, time, probe_id=probe_id)
+            for target, time, probe_id in zip(targets, times, ids)
+        ]
+        batch_engine = SimulationEngine(tiny_world, epoch=2)
+        batched = batch_engine.probe_batch(targets, times, probe_ids=ids)
+        assert batched == serial
+        assert batch_engine.stats == serial_engine.stats
+
+
+class TestFig5Determinism:
+    """Fig. 5 campaign: single-probe vs batched vs sharded."""
+
+    @pytest.fixture(scope="class")
+    def sra_targets(self, tiny_hitlist):
+        return tiny_hitlist.unique_slash64s()[:1200]
+
+    def _series_snapshots(self, world, sra_targets, **kwargs):
+        series = run_sra_vs_random(world, sra_targets, epochs=2, **kwargs)
+        return [
+            scan_snapshot(scan.result) for scan in series.sra + series.random
+        ]
+
+    def test_batched_matches_single_probe(self, tiny_world, sra_targets):
+        single = self._series_snapshots(tiny_world, sra_targets, batch_size=1)
+        batched = self._series_snapshots(
+            tiny_world, sra_targets, batch_size=512
+        )
+        assert batched == single
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_sharded_matches_serial(self, tiny_world, sra_targets, shards):
+        serial = self._series_snapshots(tiny_world, sra_targets)
+        runner = ShardedScanRunner(
+            tiny_world, shards=shards, executor="thread"
+        )
+        sharded = self._series_snapshots(tiny_world, sra_targets, runner=runner)
+        assert sharded == serial
+
+
+class TestTable2Determinism:
+    """Table 2 survey: discovered router-IP sets and EngineStats are
+    invariant under batching and 1/4/8-way sharding."""
+
+    BUDGETS = dict(
+        seed=13,
+        slash48_per_prefix=8,
+        max_bgp_48=1_500,
+        slash64_per_prefix=8,
+        max_bgp_64=1_200,
+        route6_per_prefix=4,
+        max_route6=1_500,
+        max_hitlist=1_500,
+    )
+
+    def _run(self, world, hitlist, alias_list, **overrides):
+        config = SurveyConfig(**{**self.BUDGETS, **overrides})
+        survey = SRASurvey(
+            world, hitlist, alias_list=alias_list, config=config
+        )
+        return survey.run()
+
+    def _snapshots(self, survey_result):
+        return {
+            name: scan_snapshot(result.result)
+            for name, result in survey_result.input_sets.items()
+        }
+
+    @pytest.fixture(scope="class")
+    def baseline(self, tiny_world, tiny_hitlist, tiny_alias_list):
+        """The single-probe, single-shard survey everything must match."""
+        return self._run(
+            tiny_world, tiny_hitlist, tiny_alias_list, batch_size=1
+        )
+
+    def test_batched_survey_matches(
+        self, tiny_world, tiny_hitlist, tiny_alias_list, baseline
+    ):
+        batched = self._run(
+            tiny_world, tiny_hitlist, tiny_alias_list, batch_size=256
+        )
+        assert self._snapshots(batched) == self._snapshots(baseline)
+        assert batched.table2_rows() == baseline.table2_rows()
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_sharded_survey_matches(
+        self, tiny_world, tiny_hitlist, tiny_alias_list, baseline, shards
+    ):
+        sharded = self._run(
+            tiny_world,
+            tiny_hitlist,
+            tiny_alias_list,
+            shards=shards,
+            parallel="thread",
+        )
+        assert set(sharded.input_sets) == set(INPUT_SET_NAMES)
+        for name, expected in baseline.input_sets.items():
+            got = sharded.input_sets[name]
+            assert got.router_ips == expected.router_ips, name
+            assert scan_snapshot(got.result) == scan_snapshot(
+                expected.result
+            ), name
+        assert sharded.all_router_ips() == baseline.all_router_ips()
+
+
+class TestEpochIsolation:
+    """Batching must not leak the memoised hasher across epochs."""
+
+    def test_new_epoch_changes_draws(self, tiny_world, stress_targets):
+        targets = stress_targets[:400]
+        times = [i / 150_000.0 for i in range(len(targets))]
+
+        def run(epoch):
+            engine = SimulationEngine(tiny_world, epoch=epoch)
+            return engine.probe_batch(
+                targets, times, probe_ids=list(range(len(targets)))
+            )
+
+        assert run(0) == run(0)
+        assert run(0) != run(4)

@@ -1,0 +1,109 @@
+"""Golden-value tests for the stable randomness primitives.
+
+The probe hot path rewrote ``stochastic.py`` around a memoised keyed
+hasher (see its module docstring).  These values were captured from the
+original straight-line implementation *before* that rewrite; any drift
+here silently reshuffles every simulated world, so the exact floats are
+pinned — not just statistical properties.
+"""
+
+import pytest
+
+from repro.netsim.stochastic import base_hasher, stable_bool, stable_unit
+
+# (seed, purpose, keys) -> exact stable_unit output of the pre-rewrite
+# implementation.  Chosen to cover every packing branch:
+#   * no keys at all,
+#   * keys at the 62-bit boundary ((1<<62)-1 packs one word, 1<<62 packs
+#     two — bit_length crosses 62),
+#   * full 128-bit IPv6 addresses (the high-half second word),
+#   * negative keys (two's-complement masking),
+#   * seed masking to 64 bits (negative and >= 2**64 seeds),
+#   * more than eight packed words (the non-prebuilt struct fallback).
+GOLDEN = {
+    (0, b"loss", ()): 0.6501517727431476,
+    (1, b"loss", (0,)): 0.34678838363114795,
+    (7, b"loss", (1, 2, 3)): 0.5611844699518926,
+    (7, b"flaky", ((1 << 62) - 1,)): 0.7265942170208153,
+    (7, b"flaky", (1 << 62,)): 0.4582170040921983,
+    (7, b"flaky", (1 << 63,)): 0.5598742220993775,
+    (7, b"host", ((1 << 128) - 1,)): 0.5742440875125319,
+    (42, b"direct", (0x20010DB8000000000000000000000001, 9, 4)): 0.07007392971913645,
+    (42, b"direct", (-1,)): 0.5775492320707498,
+    (42, b"direct", (-(1 << 63),)): 0.13167732392299658,
+    (-5, b"bgwin", (3, 4)): 0.8103762329476208,
+    (2**64 + 5, b"bgwin", (3, 4)): 0.832840609065574,
+    (5, b"bgwin", (3, 4)): 0.832840609065574,
+    (11, b"aggroute", (64512, 0x20010DB8 << 24)): 0.6560838383218297,
+    # Five 128-bit keys pack ten words — past the eight prebuilt Structs.
+    (3, b"loss", tuple((1 << 127) | i for i in range(5))): 0.6420184721647056,
+    (3, b"loss", tuple(range(9))): 0.6485117066201472,
+}
+
+
+class TestStableUnitGolden:
+    @pytest.mark.parametrize(
+        "seed,purpose,keys,expected",
+        [(s, p, k, v) for (s, p, k), v in GOLDEN.items()],
+        ids=[f"{s}/{p.decode()}/{len(k)}keys" for (s, p, k) in GOLDEN],
+    )
+    def test_exact_value(self, seed, purpose, keys, expected):
+        assert stable_unit(seed, purpose, *keys) == expected
+
+    def test_high_half_branch_changes_digest(self):
+        # A 128-bit key must not collide with its own low 63 bits: the
+        # packing appends the high half as a second word.
+        address = (1 << 127) | 12345
+        low_only = address & 0x7FFFFFFFFFFFFFFF
+        assert stable_unit(7, b"host", address) != stable_unit(
+            7, b"host", low_only
+        )
+
+    def test_seed_masked_to_64_bits(self):
+        # The keyed hasher's key is seed mod 2**64 — aliasing is pinned.
+        assert stable_unit(2**64 + 5, b"bgwin", 3, 4) == stable_unit(
+            5, b"bgwin", 3, 4
+        )
+        assert stable_unit(-5, b"bgwin", 3, 4) != stable_unit(5, b"bgwin", 3, 4)
+
+    def test_repeated_draws_identical(self):
+        # The memoised base hasher must never accumulate state: drawing
+        # twice (interleaved with other purposes) gives the same float.
+        first = stable_unit(7, b"loss", 1, 2, 3)
+        stable_unit(7, b"flaky", 99)
+        stable_unit(8, b"loss", 1, 2, 3)
+        assert stable_unit(7, b"loss", 1, 2, 3) == first
+
+
+class TestBaseHasher:
+    def test_memoised_per_seed_purpose(self):
+        assert base_hasher(7, b"loss") is base_hasher(7, b"loss")
+        assert base_hasher(7, b"loss") is not base_hasher(7, b"flaky")
+        assert base_hasher(7, b"loss") is not base_hasher(8, b"loss")
+
+    def test_copy_matches_stable_unit(self):
+        # The engine's inlined loss draw copies the base hasher and packs
+        # the key words itself; the contract is digest equality.
+        import struct
+
+        hasher = base_hasher(7, b"loss").copy()
+        hasher.update(struct.pack(">3q", 1, 2, 3))
+        value = int.from_bytes(hasher.digest(), "big") / float(1 << 64)
+        assert value == stable_unit(7, b"loss", 1, 2, 3)
+
+
+class TestStableBool:
+    def test_degenerate_probabilities_skip_hashing(self):
+        assert stable_bool(7, b"loss", 0.0, 123) is False
+        assert stable_bool(7, b"loss", -1.0, 123) is False
+        assert stable_bool(7, b"loss", 1.0, 123) is True
+        assert stable_bool(7, b"loss", 2.0, 123) is True
+
+    def test_threshold_agrees_with_stable_unit(self):
+        value = stable_unit(7, b"loss", 123, 456, 0)
+        assert stable_bool(7, b"loss", value + 1e-9, 123, 456, 0) is True
+        assert stable_bool(7, b"loss", value - 1e-9, 123, 456, 0) is False
+
+    def test_golden_draw(self):
+        # Pinned from the pre-rewrite implementation.
+        assert stable_bool(7, b"loss", 0.3, 123, 456, 0) is True
