@@ -23,6 +23,7 @@ from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
 from ..scanner.sharded import ShardedScanRunner
 from ..scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from ..telemetry.scan import ScanTelemetry
 from ..topology.entities import World
 
 
@@ -90,16 +91,19 @@ def _scan(
     name: str,
     epoch: int,
     runner: ShardedScanRunner | None = None,
+    telemetry: ScanTelemetry | None = None,
 ) -> ScanResult:
     """Run one campaign scan, serially or through a sharded runner.
 
     Sharded execution is merge-deterministic, so passing a runner changes
-    wall-clock time only, never the results.
+    wall-clock time only, never the results; ``telemetry`` observes the
+    scan either way.
     """
     if runner is None:
         engine = SimulationEngine(world, epoch=epoch)
-        return ZMapV6Scanner(engine, config).scan(targets, name=name, epoch=epoch)
-    return runner.scan(targets, config, name=name, epoch=epoch)
+        scanner = ZMapV6Scanner(engine, config, telemetry=telemetry)
+        return scanner.scan(targets, name=name, epoch=epoch)
+    return runner.scan(targets, config, name=name, epoch=epoch, telemetry=telemetry)
 
 
 def run_sra_vs_random(
@@ -113,6 +117,7 @@ def run_sra_vs_random(
     seed: int = 23,
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
+    telemetry: ScanTelemetry | None = None,
 ) -> ComparisonSeries:
     """Fig. 5: paired SRA and random scans of the same /64 subnets."""
     series = ComparisonSeries()
@@ -133,6 +138,7 @@ def run_sra_vs_random(
                 name=f"{method}-epoch{epoch}",
                 epoch=epoch,
                 runner=runner,
+                telemetry=telemetry,
             )
             bucket.append(MethodScan(epoch=epoch, result=result))
     return series
@@ -187,6 +193,7 @@ def run_visibility(
     epoch_base: int = 1000,
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
+    telemetry: ScanTelemetry | None = None,
 ) -> VisibilityReport:
     """Probe each discovered router IP directly, once per day (Fig. 6a)."""
     report = VisibilityReport(probed=set(router_ips))
@@ -201,6 +208,7 @@ def run_visibility(
             name=f"direct-day{day}",
             epoch=epoch,
             runner=runner,
+            telemetry=telemetry,
         )
         # Count a router visible only if it answered from the probed address.
         responsive = {
@@ -252,6 +260,7 @@ def run_stability(
     seed: int = 41,
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
+    telemetry: ScanTelemetry | None = None,
 ) -> StabilityReport:
     """Fig. 6b: does re-probing an SRA reveal the same router IP?"""
     report = StabilityReport()
@@ -264,6 +273,7 @@ def run_stability(
             name=f"stability-{epoch}",
             epoch=epoch,
             runner=runner,
+            telemetry=telemetry,
         )
         mapping = result.target_to_source()
         if epoch == 0:
@@ -282,6 +292,7 @@ def run_direct_discovery(
     epoch: int = 500,
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
+    telemetry: ScanTelemetry | None = None,
 ) -> set[int]:
     """One direct scan of known router addresses — the baseline for the
     "SRA discovers 80 % more than direct targeting" comparison."""
@@ -293,6 +304,7 @@ def run_direct_discovery(
         name="direct",
         epoch=epoch,
         runner=runner,
+        telemetry=telemetry,
     )
     return {
         record.source

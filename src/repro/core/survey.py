@@ -25,6 +25,7 @@ from ..scanner.targets import (
     route6_slash64_targets,
 )
 from ..scanner.zmapv6 import ScanConfig
+from ..telemetry.scan import ScanTelemetry
 from ..topology.entities import World
 from .aliasfilter import AliasFilterStats, filter_aliased
 
@@ -68,6 +69,12 @@ class SurveyConfig:
     # path).  Like the sharding knobs this is a pure throughput dial:
     # results are bit-identical for any value.
     batch_size: int = 1024
+    # Observability: when True the survey creates (or reuses, if one is
+    # passed to SRASurvey) a ScanTelemetry facade shared across all five
+    # input-set scans; progress_every is the per-scan probe cadence of
+    # `progress` events (0 = none).
+    telemetry: bool = False
+    progress_every: int = 0
 
 
 @dataclass(slots=True)
@@ -174,11 +181,15 @@ class SRASurvey:
         alias_list: AliasedPrefixList | None = None,
         config: SurveyConfig | None = None,
         runner: ShardedScanRunner | None = None,
+        telemetry: ScanTelemetry | None = None,
     ) -> None:
         self.world = world
         self.hitlist = hitlist
         self.alias_list = alias_list
         self.config = config or SurveyConfig()
+        if telemetry is None and self.config.telemetry:
+            telemetry = ScanTelemetry()
+        self.telemetry = telemetry
         self.runner = runner or ShardedScanRunner(
             world, shards=self.config.shards, executor=self.config.parallel
         )
@@ -227,8 +238,11 @@ class SRASurvey:
             hop_limit=self.config.hop_limit,
             seed=self.config.seed,
             batch_size=self.config.batch_size,
+            progress_every=self.config.progress_every,
         )
-        raw = self.runner.scan(targets, scan_config, name=name, epoch=epoch)
+        raw = self.runner.scan(
+            targets, scan_config, name=name, epoch=epoch, telemetry=self.telemetry
+        )
         alias_stats: AliasFilterStats | None = None
         if self.config.apply_alias_filter:
             raw, alias_stats = filter_aliased(raw, self.alias_list)

@@ -12,8 +12,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
+from ..telemetry.scan import ScanTelemetry
 from .base import ExperimentReport
 from .world import ExperimentContext, get_context
 
@@ -106,11 +108,30 @@ def main(argv: list[str] | None = None) -> int:
         "(default: one per core; results are identical at any count)",
     )
     parser.add_argument(
+        "--telemetry-out",
+        help="write the campaign's JSONL telemetry event stream here",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write the campaign's Prometheus-text metrics here",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
+    for flag, value in (
+        ("--telemetry-out", args.telemetry_out),
+        ("--metrics-out", args.metrics_out),
+    ):
+        if value and not Path(value).parent.is_dir():
+            print(
+                f"sra-repro: {flag}: directory "
+                f"{str(Path(value).parent)!r} does not exist",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.list:
         for experiment_id in sorted(EXPERIMENTS):
@@ -123,12 +144,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(error))
 
     context = get_context(args.scale, seed=args.seed, shards=args.shards)
+    telemetry = (
+        ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
+    )
+    if telemetry is not None:
+        # The context (and its cached runner, if campaigns already ran in
+        # this process) must adopt the facade before experiments execute.
+        context.telemetry = telemetry
+        if "runner" in vars(context):
+            context.runner.telemetry = telemetry
     for experiment_id in requested:
         started = time.perf_counter()
         report = run_experiment(experiment_id, context)
         elapsed = time.perf_counter() - started
         print(report)
         print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+    if telemetry is not None:
+        if args.telemetry_out:
+            telemetry.write_jsonl(args.telemetry_out)
+        if args.metrics_out:
+            telemetry.write_prometheus(args.metrics_out)
     return 0
 
 

@@ -42,6 +42,7 @@ from ..metadata.asn import ASNMapper
 from ..metadata.astype import ASTypeDatabase
 from ..metadata.geoip import GeoIPDatabase
 from ..scanner.sharded import ShardedScanRunner
+from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig
 from ..topology.entities import World
 from ..topology.generator import build_world
@@ -149,6 +150,10 @@ class ExperimentContext:
     """Lazily-computed shared artifacts for one scale."""
 
     scale: ExperimentScale
+    # Optional observability facade: set before the first campaign runs
+    # (the cached runner adopts it) and every scan of every experiment
+    # reports into one event stream / metrics registry.
+    telemetry: "ScanTelemetry | None" = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ---------------- foundations ---------------- #
@@ -188,6 +193,7 @@ class ExperimentContext:
             self.world,
             shards=self.scale.survey_config.shards,
             executor=self.scale.survey_config.parallel,
+            telemetry=self.telemetry,
         )
 
     @cached_property

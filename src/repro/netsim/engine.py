@@ -151,6 +151,14 @@ class SimulationEngine:
         self.pending_checks: list[tuple[float, int]] = []
         self._buckets: dict[int, TokenBucket] = {}
         self._bg_load: dict[int, float] = {}
+        # Optional hot-path observability hook (duck-typed: anything with
+        # on_loop(router_id, time) / on_suppressed(router_id, time), e.g.
+        # repro.telemetry.HotPathCollector).  Scanners attach one for the
+        # duration of an instrumented scan.  Both call sites sit on rare
+        # branches (loop entry, error suppression), so a disabled engine
+        # pays a single `is not None` check there and nothing on the
+        # per-probe fast path.
+        self.telemetry = None
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -508,6 +516,9 @@ class SimulationEngine:
         """Customer<->provider ping-pong until the hop limit expires."""
         world = self.world
         self.stats.loops_hit += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_loop(region.customer_router_id, time)
         customer = world.routers[region.customer_router_id]
         if remaining < 1:
             return ProbeResult(target, time, self.epoch, looped=True, transit_hops=transit)
@@ -721,6 +732,9 @@ class SimulationEngine:
                 self.epoch,
                 window,
             ):
+                telemetry = self.telemetry
+                if telemetry is not None:
+                    telemetry.on_suppressed(router.router_id, time)
                 return False
         bucket = self._buckets.get(router.router_id)
         if bucket is None:
@@ -742,7 +756,13 @@ class SimulationEngine:
                 initial=initial,
             )
             self._buckets[router.router_id] = bucket
-        return bucket.allow(time)
+        allowed = bucket.allow(time)
+        if not allowed:
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.on_suppressed(router.router_id, time)
+        return allowed
+
 
 def _as_tuple(reply: Reply | None) -> tuple[Reply, ...]:
     return () if reply is None else (reply,)

@@ -13,7 +13,7 @@ from __future__ import annotations
 class TokenBucket:
     """A continuous-refill token bucket over virtual time."""
 
-    __slots__ = ("rate", "burst", "_tokens", "_last_time")
+    __slots__ = ("rate", "burst", "denials", "_tokens", "_last_time")
 
     def __init__(self, rate: float, burst: int, *, initial: float | None = None) -> None:
         if rate <= 0:
@@ -22,6 +22,10 @@ class TokenBucket:
             raise ValueError("burst must be positive")
         self.rate = rate
         self.burst = float(burst)
+        # Lifetime denial count (survives reset()): the per-router
+        # observability counter behind the paper's rate-limit asymmetry
+        # claims.  Only the deny branch pays for it.
+        self.denials = 0
         self._tokens = self.burst if initial is None else min(float(initial), self.burst)
         self._last_time = 0.0
 
@@ -40,6 +44,7 @@ class TokenBucket:
         if self._tokens >= cost:
             self._tokens -= cost
             return True
+        self.denials += 1
         return False
 
     def reset(self, *, initial: float | None = None) -> None:

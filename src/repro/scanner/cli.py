@@ -16,9 +16,11 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from pathlib import Path
 
 from ..core.aliasfilter import filter_aliased
 from ..datasets.tum import harvest_hitlist, published_alias_list
+from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
 from .records import ScanResult
@@ -59,6 +61,23 @@ def build_targets(world, input_set: str, *, max_targets: int | None, seed: int) 
     raise ValueError(f"unknown input set {input_set!r}")
 
 
+def check_output_paths(paths: "list[tuple[str, str | None]]") -> str | None:
+    """Validate output destinations *before* the scan runs.
+
+    Returns an error message when some ``--flag PATH`` points into a
+    directory that does not exist (a plain missing file is fine — we
+    create those), so a long scan can't end in an unwritable-path
+    traceback.
+    """
+    for flag, value in paths:
+        if not value:
+            continue
+        parent = Path(value).parent
+        if not parent.is_dir():
+            return f"{flag}: directory {str(parent)!r} does not exist"
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="sra-scan", description=__doc__)
     parser.add_argument("--seed", type=int, default=2024, help="world seed")
@@ -96,10 +115,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", help="write records as CSV")
     parser.add_argument("--jsonl", help="write records as JSONL")
     parser.add_argument("--pcap", help="also write raw traffic as pcap")
+    parser.add_argument(
+        "--telemetry-out", help="write the scan's JSONL event stream here"
+    )
+    parser.add_argument(
+        "--metrics-out", help="write Prometheus-text metrics here"
+    )
+    parser.add_argument(
+        "--progress-every",
+        type=int,
+        default=1000,
+        help="emit a telemetry progress event every N probes (0 = none)",
+    )
     parser.add_argument("--summary", action="store_true", help="print totals")
     args = parser.parse_args(argv)
     if args.shards < 0:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
+    if args.progress_every < 0:
+        parser.error("--progress-every must be >= 0")
+    problem = check_output_paths(
+        [
+            ("--output", args.output),
+            ("--jsonl", args.jsonl),
+            ("--pcap", args.pcap),
+            ("--telemetry-out", args.telemetry_out),
+            ("--metrics-out", args.metrics_out),
+        ]
+    )
+    if problem is not None:
+        print(f"sra-scan: {problem}", file=sys.stderr)
+        return 2
 
     config = tiny_config(args.seed) if args.world == "tiny" else WorldConfig(seed=args.seed)
     world = build_world(config)
@@ -112,16 +157,31 @@ def main(argv: list[str] | None = None) -> int:
 
     pps = args.pps or max(100.0, len(targets) / args.duration)
     shards = auto_shard_count() if args.shards == 0 else args.shards
-    runner = ShardedScanRunner(world, shards=shards, executor=args.parallel)
+    telemetry = (
+        ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
+    )
+    runner = ShardedScanRunner(
+        world, shards=shards, executor=args.parallel, telemetry=telemetry
+    )
     result: ScanResult = runner.scan(
         list(targets),
-        ScanConfig(pps=pps, hop_limit=args.hop_limit, seed=args.seed),
+        ScanConfig(
+            pps=pps,
+            hop_limit=args.hop_limit,
+            seed=args.seed,
+            progress_every=args.progress_every,
+        ),
         name=args.input_set,
         epoch=args.epoch,
     )
     if not args.no_alias_filter:
         result, _ = filter_aliased(result, published_alias_list(world))
 
+    if telemetry is not None:
+        if args.telemetry_out:
+            telemetry.write_jsonl(args.telemetry_out)
+        if args.metrics_out:
+            telemetry.write_prometheus(args.metrics_out)
     if args.output:
         result.write_csv(args.output)
     if args.jsonl:

@@ -198,9 +198,17 @@ def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
 
 
 def merge_engine_stats(stats_list: "Iterable[EngineStats]") -> "EngineStats":
-    """Sum per-shard engine counters field by field."""
+    """Sum per-shard engine counters field by field.
+
+    An empty input yields all-zero stats (the merge of zero shards), and
+    the inputs themselves are never mutated.
+    """
     iterator = iter(stats_list)
-    first = next(iterator)
+    first = next(iterator, None)
+    if first is None:
+        from ..netsim.engine import EngineStats as _EngineStats
+
+        return _EngineStats()
     total = type(first)()
     for stats in (first, *iterator):
         for spec in fields(stats):

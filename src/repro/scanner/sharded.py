@@ -30,6 +30,16 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..netsim.engine import EngineStats, SimulationEngine
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.scan import (
+    HotPathCollector,
+    ScanTelemetry,
+    ShardTelemetry,
+    apply_suppression_correction,
+    collector_events,
+    merge_first_times,
+    retract_record,
+)
 from ..topology.entities import World
 from .records import ScanResult, merge_results
 from .zmapv6 import ScanConfig, ZMapV6Scanner
@@ -62,6 +72,9 @@ class ShardOutcome:
     # Deferred rate-limit checks in shard probe order: (virtual time,
     # emitting router id).  Replayed globally at merge time.
     checks: list[tuple[float, int]]
+    # Raw telemetry capture (progress events, per-shard metrics, first
+    # loop sightings) when the scan ran with telemetry on; None otherwise.
+    telemetry: ShardTelemetry | None = None
 
 
 def scan_shard(
@@ -73,6 +86,7 @@ def scan_shard(
     epoch: int,
     shard: int,
     shards: int,
+    collect_telemetry: bool = False,
 ) -> ShardOutcome:
     """Run one shard of a scan with the rate limiter deferred.
 
@@ -86,13 +100,25 @@ def scan_shard(
     per-probe scan would record them, which the merge replay relies on.
     """
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
-    scanner = ZMapV6Scanner(engine, replace(config, shard=shard, shards=shards))
+    scanner = ZMapV6Scanner(
+        engine,
+        replace(config, shard=shard, shards=shards),
+        capture_telemetry=collect_telemetry,
+    )
     result = scanner.scan(targets, name=f"{name}#s{shard}", epoch=epoch)
+    capture = scanner.last_capture if collect_telemetry else None
+    if capture is not None:
+        # Progress events carry the shard-local result name; rewrite to
+        # the campaign name so the merged stream reads uniformly (the
+        # shard number is its own field).
+        for event in capture.events:
+            event["scan"] = name
     return ShardOutcome(
         shard=shard,
         result=result,
         stats=replace(engine.stats),
         checks=list(engine.pending_checks),
+        telemetry=capture,
     )
 
 
@@ -102,6 +128,7 @@ def merge_shard_outcomes(
     *,
     name: str,
     epoch: int,
+    telemetry: ScanTelemetry | None = None,
 ) -> ScanResult:
     """Merge deferred-mode shards into the exact serial result.
 
@@ -110,6 +137,13 @@ def merge_shard_outcomes(
     error record and move from ``error_replies`` to ``suppressed_errors``.
     Records are then interleaved by probe time, which *is* the global
     permutation order.
+
+    With ``telemetry`` the same corrections are applied to the merged
+    metrics registry (retracting the dropped records), so the registry —
+    like ``EngineStats`` — comes out identical to a serial run's.  The
+    replay engine doubles as the authority for ``rate_limit_engaged``
+    events: deferred shards never exercise the limiter, but the replay
+    walks the exact serial check sequence.
     """
     ordered = sorted(outcomes, key=lambda outcome: outcome.shard)
     # (time, shard, router_id, record indices at that time) — at most one
@@ -127,6 +161,10 @@ def merge_shard_outcomes(
     checks.sort(key=lambda check: check[0])
 
     replay = SimulationEngine(world, epoch=epoch)
+    collector: HotPathCollector | None = None
+    if telemetry is not None:
+        collector = HotPathCollector()
+        replay.telemetry = collector
     dropped: dict[int, set[int]] = {outcome.shard: set() for outcome in ordered}
     disallowed = 0
     for time, shard, router_id, rows in checks:
@@ -135,9 +173,16 @@ def merge_shard_outcomes(
             dropped[shard].update(rows)
 
     results: list[ScanResult] = []
+    dropped_records: list = []
     for outcome in ordered:
         doomed = dropped[outcome.shard]
         if doomed:
+            if telemetry is not None:
+                dropped_records.extend(
+                    record
+                    for row, record in enumerate(outcome.result.records)
+                    if row in doomed
+                )
             outcome.result.records = [
                 record
                 for row, record in enumerate(outcome.result.records)
@@ -154,7 +199,77 @@ def merge_shard_outcomes(
     if merged.engine_stats is not None:
         merged.engine_stats.error_replies -= disallowed
         merged.engine_stats.suppressed_errors += disallowed
+
+    if telemetry is not None and collector is not None:
+        _merge_telemetry(
+            telemetry,
+            ordered,
+            merged,
+            name=name,
+            epoch=epoch,
+            disallowed=disallowed,
+            dropped_records=dropped_records,
+            first_suppressed=dict(collector.first_suppressed),
+        )
     return merged
+
+
+def _merge_telemetry(
+    telemetry: ScanTelemetry,
+    ordered: Sequence[ShardOutcome],
+    merged: ScanResult,
+    *,
+    name: str,
+    epoch: int,
+    disallowed: int,
+    dropped_records: list,
+    first_suppressed: dict[int, float],
+) -> None:
+    """Fold per-shard captures into the facade, shard-count invariantly.
+
+    Registry: sum of shard registries, minus the replay's corrections —
+    provably the serial registry.  Events: shard progress streams plus
+    loop/rate-limit first sightings (earliest time across shards wins),
+    sorted globally by virtual time; then one ``shard_finished`` per
+    shard and the closing ``scan_finished``.
+    """
+    captures = [outcome.telemetry for outcome in ordered]
+    registry = MetricsRegistry()
+    body: list[dict] = []
+    for capture in captures:
+        if capture is None:
+            continue
+        registry.merge(capture.registry)
+        body.extend(capture.events)
+    apply_suppression_correction(registry, disallowed)
+    for record in dropped_records:
+        retract_record(registry, record)
+    first_loop = merge_first_times(
+        capture.first_loop for capture in captures if capture is not None
+    )
+    body.extend(
+        collector_events(
+            scan=name,
+            epoch=epoch,
+            first_loop=first_loop,
+            first_suppressed=first_suppressed,
+        )
+    )
+    telemetry.emit_sorted(body)
+    for outcome in ordered:
+        result = outcome.result
+        telemetry.shard_finished(
+            scan=name,
+            epoch=epoch,
+            shard=outcome.shard,
+            sent=result.sent,
+            records=len(result.records),
+            lost=result.lost,
+            loops=result.loops_observed,
+            duration=result.duration,
+        )
+    telemetry.merge_registry(registry)
+    telemetry.scan_finished(scan=name, epoch=epoch, result=merged)
 
 
 # ---------------------------------------------------------------------- #
@@ -173,7 +288,12 @@ def _init_worker(world: World, targets: Sequence[int]) -> None:
 
 
 def _worker_scan_shard(
-    config: ScanConfig, name: str, epoch: int, shard: int, shards: int
+    config: ScanConfig,
+    name: str,
+    epoch: int,
+    shard: int,
+    shards: int,
+    collect_telemetry: bool = False,
 ) -> ShardOutcome:
     assert _WORKER_WORLD is not None and _WORKER_TARGETS is not None
     return scan_shard(
@@ -184,6 +304,7 @@ def _worker_scan_shard(
         epoch=epoch,
         shard=shard,
         shards=shards,
+        collect_telemetry=collect_telemetry,
     )
 
 
@@ -212,6 +333,7 @@ class ShardedScanRunner:
         executor: str = "auto",
         max_workers: int | None = None,
         process_threshold: int = PROCESS_POOL_THRESHOLD,
+        telemetry: ScanTelemetry | None = None,
     ) -> None:
         if executor not in ("auto", "process", "thread", "serial"):
             raise ValueError(
@@ -224,6 +346,7 @@ class ShardedScanRunner:
         self.executor = executor
         self.max_workers = max_workers
         self.process_threshold = process_threshold
+        self.telemetry = telemetry
 
     def scan(
         self,
@@ -232,19 +355,45 @@ class ShardedScanRunner:
         *,
         name: str = "scan",
         epoch: int = 0,
+        telemetry: ScanTelemetry | None = None,
     ) -> ScanResult:
-        """Scan all targets across ``self.shards`` shards and merge."""
+        """Scan all targets across ``self.shards`` shards and merge.
+
+        ``telemetry`` (per call, falling back to the runner default)
+        receives the event stream and the merged metrics; both come out
+        shard-count invariant except for the per-shard ``progress`` /
+        ``shard_finished`` events.
+        """
         config = config or ScanConfig()
+        effective = telemetry if telemetry is not None else self.telemetry
         target_list = (
             targets if isinstance(targets, (list, tuple)) else list(targets)
         )
         if self.shards == 1:
             engine = SimulationEngine(self.world, epoch=epoch)
-            scanner = ZMapV6Scanner(engine, replace(config, shard=0, shards=1))
+            scanner = ZMapV6Scanner(
+                engine,
+                replace(config, shard=0, shards=1),
+                telemetry=effective,
+            )
             return scanner.scan(target_list, name=name, epoch=epoch)
-        outcomes = self._run_shards(target_list, config, name, epoch)
+        if effective is not None:
+            effective.scan_started(
+                scan=name,
+                epoch=epoch,
+                targets=len(target_list),
+                shards=self.shards,
+                pps=config.pps,
+            )
+        outcomes = self._run_shards(
+            target_list,
+            config,
+            name,
+            epoch,
+            collect_telemetry=effective is not None,
+        )
         return merge_shard_outcomes(
-            self.world, outcomes, name=name, epoch=epoch
+            self.world, outcomes, name=name, epoch=epoch, telemetry=effective
         )
 
     # ---------------- execution strategies ---------------- #
@@ -262,6 +411,8 @@ class ShardedScanRunner:
         config: ScanConfig,
         name: str,
         epoch: int,
+        *,
+        collect_telemetry: bool = False,
     ) -> list[ShardOutcome]:
         mode = self._resolve_executor(len(target_list))
         if mode == "serial":
@@ -274,6 +425,7 @@ class ShardedScanRunner:
                     epoch=epoch,
                     shard=shard,
                     shards=self.shards,
+                    collect_telemetry=collect_telemetry,
                 )
                 for shard in range(self.shards)
             ]
@@ -289,7 +441,13 @@ class ShardedScanRunner:
             with pool:
                 futures = [
                     pool.submit(
-                        _worker_scan_shard, config, name, epoch, shard, self.shards
+                        _worker_scan_shard,
+                        config,
+                        name,
+                        epoch,
+                        shard,
+                        self.shards,
+                        collect_telemetry,
                     )
                     for shard in range(self.shards)
                 ]
@@ -305,6 +463,7 @@ class ShardedScanRunner:
                     epoch=epoch,
                     shard=shard,
                     shards=self.shards,
+                    collect_telemetry=collect_telemetry,
                 )
                 for shard in range(self.shards)
             ]

@@ -33,6 +33,14 @@ from ..packet.icmpv6 import (
 )
 from ..packet.ipv6hdr import HEADER_LENGTH, IPv6Header
 from ..packet.probe import build_probe_packet, extract_probe
+from ..telemetry.events import make_event
+from ..telemetry.scan import (
+    HotPathCollector,
+    ScanTelemetry,
+    ShardTelemetry,
+    collector_events,
+    populate_registry,
+)
 from .records import ScanRecord, ScanResult
 
 
@@ -54,6 +62,11 @@ class ScanConfig:
     # bookkeeping itself stops mattering — past ~1k there is nothing left
     # to win.  Memory cost is one ProbeResult list per batch.
     batch_size: int = 1024
+    # Telemetry progress cadence: emit one `progress` event every N
+    # probes (0 = none).  Snapshots land at fixed probe-count boundaries,
+    # so the event stream is identical for every batch_size; it only
+    # takes effect when a scan runs with telemetry capture enabled.
+    progress_every: int = 0
 
     def __post_init__(self) -> None:
         if self.pps <= 0:
@@ -66,14 +79,39 @@ class ScanConfig:
             raise ValueError("shard must be in [0, shards)")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.progress_every < 0:
+            raise ValueError("progress_every must be >= 0")
 
 
 class ZMapV6Scanner:
-    """Drives the engine like zmap drives a NIC."""
+    """Drives the engine like zmap drives a NIC.
 
-    def __init__(self, engine: SimulationEngine, config: ScanConfig | None = None) -> None:
+    Telemetry comes in two modes, both off by default and costing nothing
+    on the hot path when off:
+
+    * ``telemetry=`` — a :class:`ScanTelemetry` facade; the scanner emits
+      the full event stream (``scan_started`` ... ``scan_finished``) and
+      merges its metrics into the facade's registry after each scan,
+    * ``capture_telemetry=True`` — raw capture only: after each scan,
+      :attr:`last_capture` holds a picklable :class:`ShardTelemetry`
+      (progress events, per-shard registry, first loop / suppression
+      sightings) for a coordinator to merge — the sharded runner's mode.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: ScanConfig | None = None,
+        *,
+        telemetry: ScanTelemetry | None = None,
+        capture_telemetry: bool = False,
+    ) -> None:
         self.engine = engine
         self.config = config or ScanConfig()
+        self.telemetry = telemetry
+        self.capture_telemetry = capture_telemetry or telemetry is not None
+        self.last_capture: ShardTelemetry | None = None
+        self._capture: ShardTelemetry | None = None
 
     def scan(
         self,
@@ -88,13 +126,54 @@ class ZMapV6Scanner:
             self.engine.new_epoch(epoch)
         target_list = targets if isinstance(targets, Sequence) else list(targets)
         result = ScanResult(name=name, epoch=self.engine.epoch)
-        if config.wire_format or config.batch_size == 1:
-            sent, last_position = self._scan_single(target_list, result)
-        else:
-            sent, last_position = self._scan_batched(target_list, result)
+        capture: ShardTelemetry | None = None
+        collector: HotPathCollector | None = None
+        if self.capture_telemetry:
+            capture = ShardTelemetry()
+            collector = HotPathCollector()
+            if self.telemetry is not None:
+                self.telemetry.scan_started(
+                    scan=name,
+                    epoch=result.epoch,
+                    targets=len(target_list),
+                    shards=config.shards,
+                    pps=config.pps,
+                )
+        self._capture = capture
+        if collector is not None:
+            self.engine.telemetry = collector
+        try:
+            if config.wire_format or config.batch_size == 1:
+                sent, last_position = self._scan_single(target_list, result)
+            else:
+                sent, last_position = self._scan_batched(target_list, result)
+        finally:
+            if collector is not None:
+                self.engine.telemetry = None
+            self._capture = None
         result.sent = sent
         result.duration = (last_position + 1) / config.pps if sent else 0.0
         result.engine_stats = replace(self.engine.stats)
+        if capture is not None and collector is not None:
+            capture.first_loop = dict(collector.first_loop)
+            capture.first_suppressed = dict(collector.first_suppressed)
+            populate_registry(capture.registry, result)
+            self.last_capture = capture
+            if self.telemetry is not None:
+                body = list(capture.events)
+                body.extend(
+                    collector_events(
+                        scan=name,
+                        epoch=result.epoch,
+                        first_loop=capture.first_loop,
+                        first_suppressed=capture.first_suppressed,
+                    )
+                )
+                self.telemetry.emit_sorted(body)
+                self.telemetry.merge_registry(capture.registry)
+                self.telemetry.scan_finished(
+                    scan=name, epoch=result.epoch, result=result
+                )
         return result
 
     def _scan_single(
@@ -102,6 +181,8 @@ class ZMapV6Scanner:
     ) -> tuple[int, int]:
         """Per-probe scan loop: wire-format mode and ``batch_size=1``."""
         config = self.config
+        capture = self._capture
+        every = config.progress_every if capture is not None else 0
         sent = 0
         last_position = -1
         for position, index in self._probe_positions(len(target_list)):
@@ -120,16 +201,30 @@ class ZMapV6Scanner:
                 result.loops_observed += 1
             if outcome.lost:
                 result.lost += 1
-                continue
-            for reply in outcome.replies:
-                result.records.append(
-                    ScanRecord(
-                        target=target,
-                        source=reply.source,
-                        icmp_type=int(reply.icmp_type),
-                        code=reply.code,
-                        count=reply.count,
-                        time=time,
+            else:
+                for reply in outcome.replies:
+                    result.records.append(
+                        ScanRecord(
+                            target=target,
+                            source=reply.source,
+                            icmp_type=int(reply.icmp_type),
+                            code=reply.code,
+                            count=reply.count,
+                            time=time,
+                        )
+                    )
+            if every and sent % every == 0:
+                capture.events.append(
+                    make_event(
+                        "progress",
+                        scan=result.name,
+                        epoch=result.epoch,
+                        vtime=time,
+                        shard=config.shard,
+                        sent=sent,
+                        records=len(result.records),
+                        lost=result.lost,
+                        loops=result.loops_observed,
                     )
                 )
         return sent, last_position
@@ -150,6 +245,9 @@ class ZMapV6Scanner:
         probe_batch = self.engine.probe_batch
         records = result.records
         append_record = records.append
+        capture = self._capture
+        every = config.progress_every if capture is not None else 0
+        progress = (0, 0, 0, 0)
         sent = 0
         last_position = -1
         loops_observed = 0
@@ -187,9 +285,57 @@ class ZMapV6Scanner:
                             time=batch_times[offset],
                         )
                     )
+            if every:
+                progress = self._capture_batch_progress(
+                    capture, result, outcomes, batch_times, every, progress
+                )
         result.loops_observed += loops_observed
         result.lost += probes_lost
         return sent, last_position
+
+    def _capture_batch_progress(
+        self,
+        capture: ShardTelemetry,
+        result: ScanResult,
+        outcomes: Sequence[ProbeResult],
+        batch_times: Sequence[float],
+        every: int,
+        progress: tuple[int, int, int, int],
+    ) -> tuple[int, int, int, int]:
+        """Emit the ``progress`` events a batch crosses.
+
+        A second pass over the batch outcomes, run only when telemetry is
+        on, so the record-building hot loop above stays untouched.  It
+        reconstructs the cumulative counters probe by probe (every
+        non-lost reply becomes exactly one record), which makes the
+        progress stream byte-identical to the per-probe path's for any
+        ``batch_size``.
+        """
+        shard = self.config.shard
+        sent, n_records, lost, loops = progress
+        for offset, outcome in enumerate(outcomes):
+            sent += 1
+            if outcome.looped:
+                loops += 1
+            if outcome.lost:
+                lost += 1
+            else:
+                n_records += len(outcome.replies)
+            if sent % every == 0:
+                capture.events.append(
+                    make_event(
+                        "progress",
+                        scan=result.name,
+                        epoch=result.epoch,
+                        vtime=batch_times[offset],
+                        shard=shard,
+                        sent=sent,
+                        records=n_records,
+                        lost=lost,
+                        loops=loops,
+                    )
+                )
+        return sent, n_records, lost, loops
 
     def _probe_order(self, size: int) -> Iterable[int]:
         """The target indices this shard visits, in probe order."""

@@ -1,0 +1,385 @@
+"""The scan telemetry facade and its hot-path instrumentation pieces.
+
+Three layers, from the packet engine up:
+
+* :class:`HotPathCollector` — the only object the simulation engine ever
+  sees.  It records *first occurrences* (first probe to hit each loop
+  router, first error each router's RFC 4443 limiter suppressed) into
+  plain dicts, so the engine's hot path pays one ``is not None`` check on
+  rare branches and nothing anywhere else.
+* :class:`ShardTelemetry` — the per-shard capture: progress events, the
+  collector dicts, and a :class:`~repro.telemetry.metrics.MetricsRegistry`
+  populated from the shard's scan result.  Plain data by construction so
+  it rides home through the process pool, and merged deterministically by
+  :func:`repro.scanner.sharded.merge_shard_outcomes` alongside
+  ``EngineStats``.
+* :class:`ScanTelemetry` — the user-facing facade: owns the global event
+  stream (``seq`` assignment) and the merged registry, and writes the
+  JSONL / Prometheus sinks.
+
+Determinism contract: for a fixed configuration (seed, shard count,
+progress cadence) two runs produce byte-identical JSONL and Prometheus
+text.  The *registry* (and therefore the Prometheus export) is moreover
+invariant to batch size and shard count — per-shard registries merge to
+exactly the serial registry, the same guarantee ``EngineStats`` has.
+``loop_detected`` and ``rate_limit_engaged`` events are shard-invariant
+too (first occurrences in virtual time are global properties); only
+``progress`` and ``shard_finished`` events are per-shard by nature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from .events import body_sort_key, events_to_jsonl, make_event, write_events
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # telemetry stays import-light; scans are duck-typed
+    from ..netsim.engine import EngineStats
+    from ..scanner.records import ScanResult
+
+__all__ = [
+    "AMPLIFICATION_EDGES",
+    "ENGINE_STAT_COUNTERS",
+    "REPLY_VTIME_EDGES",
+    "HotPathCollector",
+    "ScanTelemetry",
+    "ShardTelemetry",
+    "apply_suppression_correction",
+    "collector_events",
+    "merge_first_times",
+    "populate_registry",
+    "retract_record",
+]
+
+# Virtual seconds into the scan at which a reply arrived.  Fixed edges:
+# campaign scans pace over single-digit virtual durations (SurveyConfig
+# scan_duration defaults to 6s), benchmarks run longer.
+REPLY_VTIME_EDGES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+# Reply replication count per matched record; the top edge is the
+# engine's amplification cap (~4.2M replies, see netsim.engine).
+AMPLIFICATION_EDGES = (1.0, 2.0, 8.0, 64.0, 1024.0, 65536.0, float(1 << 22))
+
+# EngineStats field -> (metric name, help).  Mirrored one-to-one so the
+# sharded merge can apply the same suppressed-error correction to the
+# registry that it applies to the merged EngineStats.
+ENGINE_STAT_COUNTERS = {
+    "probes": ("sra_scan_probes_total", "Echo Requests sent"),
+    "lost": ("sra_scan_probes_lost_total", "probes lost in flight"),
+    "echo_replies": ("sra_scan_echo_replies_total", "Echo Replies received"),
+    "error_replies": (
+        "sra_scan_error_replies_total",
+        "ICMPv6 error messages received (incl. amplified duplicates)",
+    ),
+    "suppressed_errors": (
+        "sra_scan_suppressed_errors_total",
+        "errors suppressed by RFC 4443 rate limiting",
+    ),
+    "loops_hit": ("sra_scan_loops_hit_total", "probes that entered a routing loop"),
+    "amplified_replies": (
+        "sra_scan_amplified_replies_total",
+        "duplicate replies fabricated by loop amplification",
+    ),
+}
+
+RECORDS_TOTAL = "sra_scan_records_total"
+FLOOD_PACKETS_TOTAL = "sra_scan_flood_packets_total"
+REPLY_VTIME_HISTOGRAM = "sra_scan_reply_vtime_seconds"
+AMPLIFICATION_HISTOGRAM = "sra_scan_reply_amplification"
+SCANS_TOTAL = "sra_scans_total"
+LAST_DURATION_GAUGE = "sra_scan_last_duration_seconds"
+
+
+class HotPathCollector:
+    """First-occurrence recorder attached to a :class:`SimulationEngine`.
+
+    The engine calls :meth:`on_loop` when a probe enters a loop region and
+    :meth:`on_suppressed` when a router's rate limiter swallows an error.
+    Both paths are rare by construction, and with telemetry disabled the
+    engine's only cost is the ``telemetry is not None`` check guarding the
+    call — the packet hot path itself is untouched.
+
+    Scans probe in non-decreasing virtual time, so "first insert wins"
+    records the *earliest* occurrence; sharded scans merge their
+    shard-local dicts by minimum time, which reproduces the serial
+    first occurrence exactly.
+    """
+
+    __slots__ = ("first_loop", "first_suppressed")
+
+    def __init__(self) -> None:
+        self.first_loop: dict[int, float] = {}
+        self.first_suppressed: dict[int, float] = {}
+
+    def on_loop(self, router_id: int, time: float) -> None:
+        if router_id not in self.first_loop:
+            self.first_loop[router_id] = time
+
+    def on_suppressed(self, router_id: int, time: float) -> None:
+        if router_id not in self.first_suppressed:
+            self.first_suppressed[router_id] = time
+
+
+def merge_first_times(dicts: Iterable[dict[int, float]]) -> dict[int, float]:
+    """Merge per-shard first-occurrence dicts: earliest time wins."""
+    merged: dict[int, float] = {}
+    for current in dicts:
+        for router_id, time in current.items():
+            known = merged.get(router_id)
+            if known is None or time < known:
+                merged[router_id] = time
+    return merged
+
+
+def collector_events(
+    *,
+    scan: str,
+    epoch: int,
+    first_loop: dict[int, float],
+    first_suppressed: dict[int, float],
+) -> list[dict]:
+    """``loop_detected`` / ``rate_limit_engaged`` events from collector
+    dicts (unsorted; callers sort the whole body with
+    :func:`~repro.telemetry.events.body_sort_key`)."""
+    events = [
+        make_event(
+            "loop_detected", scan=scan, epoch=epoch, vtime=time, router=router
+        )
+        for router, time in first_loop.items()
+    ]
+    events.extend(
+        make_event(
+            "rate_limit_engaged",
+            scan=scan,
+            epoch=epoch,
+            vtime=time,
+            router=router,
+        )
+        for router, time in first_suppressed.items()
+    )
+    return events
+
+
+@dataclass(slots=True)
+class ShardTelemetry:
+    """One shard's (or one serial scan's) captured telemetry.
+
+    Plain data: lists, dicts, and a registry of plain metric objects —
+    picklable, so process-pool shards ship it back with their outcome.
+    """
+
+    events: list[dict] = field(default_factory=list)  # progress snapshots
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    first_loop: dict[int, float] = field(default_factory=dict)
+    first_suppressed: dict[int, float] = field(default_factory=dict)
+
+
+def populate_registry(
+    registry: MetricsRegistry,
+    result: "ScanResult",
+    stats: "EngineStats | None" = None,
+) -> MetricsRegistry:
+    """Fold one scan's counters and record-derived metrics into a registry.
+
+    ``stats`` defaults to ``result.engine_stats``.  Counters *add*, so one
+    registry can accumulate a whole campaign; the same function populates
+    per-shard registries (pre-merge) and serial-scan registries, which is
+    what makes the sharded merge provably equivalent to the serial path.
+    """
+    if stats is None:
+        stats = result.engine_stats
+    if stats is not None:
+        for field_name, (metric_name, help_text) in ENGINE_STAT_COUNTERS.items():
+            registry.counter(metric_name, help_text).inc(
+                getattr(stats, field_name)
+            )
+    records = registry.counter(RECORDS_TOTAL, "matched reply records")
+    flood = registry.counter(
+        FLOOD_PACKETS_TOTAL, "unsolicited duplicates from loop amplification"
+    )
+    vtimes = registry.histogram(
+        REPLY_VTIME_HISTOGRAM,
+        REPLY_VTIME_EDGES,
+        "virtual seconds into the scan at which replies arrived",
+    )
+    amplification = registry.histogram(
+        AMPLIFICATION_HISTOGRAM,
+        AMPLIFICATION_EDGES,
+        "reply replication count per matched record",
+    )
+    records.inc(len(result.records))
+    flood_total = 0
+    for record in result.records:
+        vtimes.observe(record.time)
+        amplification.observe(record.count)
+        flood_total += record.count - 1
+    flood.inc(flood_total)
+    return registry
+
+
+def retract_record(registry: MetricsRegistry, record) -> None:
+    """Undo one record's record-derived metrics (sharded merge: the rate-
+    limit replay decided this provisional error was suppressed)."""
+    counter = registry.get(RECORDS_TOTAL)
+    if counter is not None:
+        counter.value -= 1
+    flood = registry.get(FLOOD_PACKETS_TOTAL)
+    if flood is not None:
+        flood.value -= record.count - 1
+    vtimes = registry.get(REPLY_VTIME_HISTOGRAM)
+    if vtimes is not None:
+        vtimes.observe(record.time, count=-1)
+    amplification = registry.get(AMPLIFICATION_HISTOGRAM)
+    if amplification is not None:
+        amplification.observe(record.count, count=-1)
+
+
+def apply_suppression_correction(
+    registry: MetricsRegistry, disallowed: int
+) -> None:
+    """Move replay-suppressed errors between the two error counters —
+    the registry twin of the ``EngineStats`` correction in
+    :func:`repro.scanner.sharded.merge_shard_outcomes`."""
+    if not disallowed:
+        return
+    errors = registry.get(ENGINE_STAT_COUNTERS["error_replies"][0])
+    if errors is not None:
+        errors.value -= disallowed
+    suppressed = registry.counter(
+        *ENGINE_STAT_COUNTERS["suppressed_errors"]
+    )
+    suppressed.inc(disallowed)
+
+
+class ScanTelemetry:
+    """The observability facade: one event stream + one metrics registry.
+
+    Share a single instance across every scan of a campaign (the survey's
+    five input sets, a Fig. 5 epoch series, ...): events append in scan
+    order with a global ``seq``, and the registry accumulates counters
+    across scans.  ``sra-scan --telemetry-out/--metrics-out`` and
+    ``sra-repro --telemetry-out`` are thin wrappers over the two sinks.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.events: list[dict] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # event emission
+    # ------------------------------------------------------------------ #
+
+    def emit(self, event: dict) -> dict:
+        """Append one event, stamping its stream sequence number."""
+        event["seq"] = self._seq
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def emit_sorted(self, body: list[dict]) -> None:
+        """Emit a scan's body events in deterministic order."""
+        for event in sorted(body, key=body_sort_key):
+            self.emit(event)
+
+    def scan_started(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        targets: int,
+        shards: int,
+        pps: float,
+    ) -> None:
+        self.emit(
+            make_event(
+                "scan_started",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                targets=targets,
+                shards=shards,
+                pps=pps,
+            )
+        )
+
+    def shard_finished(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        shard: int,
+        sent: int,
+        records: int,
+        lost: int,
+        loops: int,
+        duration: float,
+    ) -> None:
+        self.emit(
+            make_event(
+                "shard_finished",
+                scan=scan,
+                epoch=epoch,
+                vtime=duration,
+                shard=shard,
+                sent=sent,
+                records=records,
+                lost=lost,
+                loops=loops,
+                duration=duration,
+            )
+        )
+
+    def scan_finished(self, *, scan: str, epoch: int, result: "ScanResult") -> None:
+        """Emit the closing event and roll the scan into the summary
+        gauges/counters (``sra_scans_total``, last-duration gauge)."""
+        stats = result.engine_stats
+        stats_fields = {}
+        if stats is not None:
+            stats_fields = {
+                name: getattr(stats, name) for name in ENGINE_STAT_COUNTERS
+            }
+        self.emit(
+            make_event(
+                "scan_finished",
+                scan=scan,
+                epoch=epoch,
+                vtime=result.duration,
+                sent=result.sent,
+                records=len(result.records),
+                lost=result.lost,
+                loops=result.loops_observed,
+                duration=result.duration,
+                stats=stats_fields,
+            )
+        )
+        self.registry.counter(SCANS_TOTAL, "scans completed").inc()
+        self.registry.gauge(
+            LAST_DURATION_GAUGE, "virtual duration of the last scan"
+        ).set(result.duration)
+
+    # ------------------------------------------------------------------ #
+    # registry plumbing
+    # ------------------------------------------------------------------ #
+
+    def merge_registry(self, registry: MetricsRegistry) -> None:
+        self.registry.merge(registry)
+
+    # ------------------------------------------------------------------ #
+    # sinks
+    # ------------------------------------------------------------------ #
+
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self.events)
+
+    def write_jsonl(self, path: str | Path) -> None:
+        write_events(self.events, path)
+
+    def to_prometheus(self) -> str:
+        return self.registry.to_prometheus()
+
+    def write_prometheus(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_prometheus(), encoding="utf-8")

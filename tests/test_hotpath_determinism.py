@@ -19,6 +19,7 @@ from repro.netsim.engine import SimulationEngine
 from repro.scanner.sharded import ShardedScanRunner
 from repro.scanner.targets import bgp_slash48_targets
 from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from repro.telemetry import ScanTelemetry
 
 
 @pytest.fixture(scope="module")
@@ -196,3 +197,119 @@ class TestEpochIsolation:
 
         assert run(0) == run(0)
         assert run(0) != run(4)
+
+
+class TestTelemetryDeterminism:
+    """Telemetry invariance contract on the stress workload.
+
+    The Prometheus export must be byte-identical across batch sizes and
+    shard counts, the ``loop_detected`` / ``rate_limit_engaged`` /
+    ``scan_finished`` events must be shard-count invariant (first
+    occurrences in virtual time are global properties), and the progress
+    stream must be batch-size invariant.  Two identical runs must produce
+    byte-identical JSONL.
+    """
+
+    CFG = dict(pps=200_000.0, seed=5, progress_every=500)
+    EPOCH = 2
+
+    def _serial(self, world, targets, *, batch_size=1024):
+        telemetry = ScanTelemetry()
+        engine = SimulationEngine(world, epoch=self.EPOCH)
+        scanner = ZMapV6Scanner(
+            engine,
+            ScanConfig(batch_size=batch_size, **self.CFG),
+            telemetry=telemetry,
+        )
+        scanner.scan(targets, name="scan", epoch=self.EPOCH)
+        return telemetry
+
+    def _sharded(self, world, targets, *, shards, executor="thread"):
+        telemetry = ScanTelemetry()
+        runner = ShardedScanRunner(
+            world, shards=shards, executor=executor, telemetry=telemetry
+        )
+        runner.scan(
+            targets, ScanConfig(**self.CFG), name="scan", epoch=self.EPOCH
+        )
+        return telemetry
+
+    @staticmethod
+    def _invariant_events(telemetry):
+        """The shard-count-invariant event subset.
+
+        ``seq`` and ``scan_started.shards`` are the *only* fields allowed
+        to differ between a serial and a sharded run of the same scan —
+        one is stream position, the other reports the run's own config.
+        """
+        return [
+            {
+                key: value
+                for key, value in event.items()
+                if key != "seq"
+                and not (event["event"] == "scan_started" and key == "shards")
+            }
+            for event in telemetry.events
+            if event["event"]
+            in ("scan_started", "loop_detected", "rate_limit_engaged",
+                "scan_finished")
+        ]
+
+    @pytest.fixture(scope="class")
+    def serial_telemetry(self, tiny_world, stress_targets):
+        telemetry = self._serial(tiny_world, stress_targets)
+        # The workload must exercise loops and the rate limiter, or the
+        # invariance assertions below prove nothing.
+        kinds = {event["event"] for event in telemetry.events}
+        assert "loop_detected" in kinds
+        assert "rate_limit_engaged" in kinds
+        assert "progress" in kinds
+        return telemetry
+
+    @pytest.mark.parametrize("shards", [1, 4, 8])
+    def test_prometheus_shard_invariant(
+        self, tiny_world, stress_targets, serial_telemetry, shards
+    ):
+        sharded = self._sharded(tiny_world, stress_targets, shards=shards)
+        assert sharded.to_prometheus() == serial_telemetry.to_prometheus()
+
+    def test_prometheus_batch_invariant(
+        self, tiny_world, stress_targets, serial_telemetry
+    ):
+        single = self._serial(tiny_world, stress_targets, batch_size=1)
+        assert single.to_prometheus() == serial_telemetry.to_prometheus()
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_events_shard_invariant(
+        self, tiny_world, stress_targets, serial_telemetry, shards
+    ):
+        sharded = self._sharded(tiny_world, stress_targets, shards=shards)
+        assert self._invariant_events(sharded) == self._invariant_events(
+            serial_telemetry
+        )
+
+    def test_progress_stream_batch_invariant(
+        self, tiny_world, stress_targets, serial_telemetry
+    ):
+        single = self._serial(tiny_world, stress_targets, batch_size=1)
+        assert single.to_jsonl() == serial_telemetry.to_jsonl()
+
+    def test_repeat_runs_byte_identical(self, tiny_world, stress_targets):
+        first = self._sharded(tiny_world, stress_targets, shards=4)
+        second = self._sharded(tiny_world, stress_targets, shards=4)
+        assert first.to_jsonl() == second.to_jsonl()
+        assert first.to_prometheus() == second.to_prometheus()
+
+    def test_telemetry_never_changes_scan_results(
+        self, tiny_world, stress_targets
+    ):
+        def run(telemetry):
+            engine = SimulationEngine(tiny_world, epoch=self.EPOCH)
+            scanner = ZMapV6Scanner(
+                engine, ScanConfig(**self.CFG), telemetry=telemetry
+            )
+            return scanner.scan(stress_targets, name="scan", epoch=self.EPOCH)
+
+        observed = run(ScanTelemetry())
+        bare = run(None)
+        assert scan_snapshot(observed) == scan_snapshot(bare)

@@ -14,6 +14,7 @@ from repro.addr.ipv6 import (
 )
 from repro.addr.partition import hitlist_targets, stage2_targets
 from repro.addr.permutation import CyclicPermutation, next_prime
+from repro.addr.sra import is_sra_candidate, sra_address, sra_of
 from repro.bgp.lpm import LengthIndexedLPM
 from repro.bgp.trie import PrefixTrie
 from repro.netsim.ratelimit import TokenBucket
@@ -184,10 +185,64 @@ class TestStage2Properties:
             assert network_of(target, 48) == target
 
 
+class TestSRAProperties:
+    subnet_lengths = st.integers(min_value=0, max_value=128)
+
+    @given(addresses, subnet_lengths)
+    def test_sra_of_is_idempotent(self, address, length):
+        sra = sra_of(address, length)
+        assert sra_of(sra, length) == sra
+
+    @given(addresses, subnet_lengths)
+    def test_sra_of_yields_a_candidate(self, address, length):
+        assert is_sra_candidate(sra_of(address, length), length)
+
+    @given(addresses, subnet_lengths)
+    def test_candidate_iff_fixed_point(self, address, length):
+        # is_sra_candidate is exactly "sra_of leaves the address alone"
+        assert is_sra_candidate(address, length) == (
+            sra_of(address, length) == address
+        )
+
+    @given(addresses)
+    def test_nested_subnet_lengths_compose(self, address):
+        # The /48 SRA of an address equals the /48 SRA of its /64 SRA:
+        # zeroing host bits commutes with widening the subnet.
+        assert sra_of(sra_of(address, 64), 48) == sra_of(address, 48)
+
+    @given(addresses, subnet_lengths)
+    def test_sra_address_of_prefix_is_its_network(self, address, length):
+        prefix = make_prefix(address, length)
+        assert sra_address(prefix) == prefix.network
+        assert is_sra_candidate(sra_address(prefix), length)
+
+    @given(addresses)
+    def test_zero_length_sra_is_all_zeros(self, address):
+        assert sra_of(address, 0) == 0
+
+    @given(addresses)
+    def test_full_length_sra_is_identity(self, address):
+        assert sra_of(address, 128) == address
+
+
+# Arbitrary bucket workloads: non-decreasing call times built from gaps,
+# with mixed costs (0 = pure refill observation).
+bucket_rates = st.floats(min_value=0.5, max_value=100, allow_nan=False)
+bucket_bursts = st.integers(min_value=1, max_value=50)
+bucket_calls = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=5, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
 class TestRateLimitProperties:
     @given(
-        st.floats(min_value=0.5, max_value=100, allow_nan=False),
-        st.integers(min_value=1, max_value=50),
+        bucket_rates,
+        bucket_bursts,
         st.lists(
             st.floats(min_value=0, max_value=10, allow_nan=False),
             min_size=1,
@@ -205,6 +260,66 @@ class TestRateLimitProperties:
                 allowed += 1
         # Conservation: can never pass more than burst + rate*elapsed.
         assert allowed <= burst + rate * now + 1e-6
+
+    @given(bucket_rates, bucket_bursts, bucket_calls)
+    @settings(max_examples=50, deadline=None)
+    def test_tokens_stay_within_bounds(self, rate, burst, calls):
+        # Tokens never go negative and never exceed burst, whatever the
+        # (time, cost) sequence thrown at the bucket.
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        for gap, cost in calls:
+            now += gap
+            bucket.allow(now, cost=cost)
+            assert 0.0 <= bucket.tokens <= bucket.burst
+
+    @given(
+        bucket_rates,
+        bucket_bursts,
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_refill_is_monotone_in_elapsed_time(self, rate, burst, t1, t2):
+        # Observed on fresh drained buckets via zero-cost calls: waiting
+        # longer can only leave more (or equal) tokens.
+        earlier, later = sorted((t1, t2))
+
+        def tokens_after(wait):
+            bucket = TokenBucket(rate=rate, burst=burst, initial=0.0)
+            bucket.allow(wait, cost=0.0)
+            return bucket.tokens
+
+        assert tokens_after(earlier) <= tokens_after(later) + 1e-12
+
+    @given(bucket_rates, bucket_bursts, bucket_calls)
+    @settings(max_examples=50, deadline=None)
+    def test_denials_counts_exactly_the_false_returns(
+        self, rate, burst, calls
+    ):
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        denied = 0
+        for gap, cost in calls:
+            now += gap
+            if not bucket.allow(now, cost=cost):
+                denied += 1
+        assert bucket.denials == denied
+
+    @given(bucket_rates, bucket_bursts, bucket_calls)
+    @settings(max_examples=25, deadline=None)
+    def test_denials_survive_reset(self, rate, burst, calls):
+        # The denial counter is a lifetime observability counter: reset()
+        # refills tokens but never rewrites history.
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        for gap, cost in calls:
+            now += gap
+            bucket.allow(now, cost=cost)
+        before = bucket.denials
+        bucket.reset()
+        assert bucket.denials == before
+        assert bucket.tokens == bucket.burst
 
 
 class TestStochasticProperties:

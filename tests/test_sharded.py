@@ -8,7 +8,12 @@ from repro.core.survey import SRASurvey, SurveyConfig
 from repro.datasets.tum import harvest_hitlist, published_alias_list
 from repro.netsim.engine import EngineStats, SimulationEngine
 from repro.scanner.pacing import paced_pps
-from repro.scanner.records import ScanRecord, ScanResult, merge_results
+from repro.scanner.records import (
+    ScanRecord,
+    ScanResult,
+    merge_engine_stats,
+    merge_results,
+)
 from repro.scanner.sharded import (
     ShardedScanRunner,
     auto_shard_count,
@@ -165,6 +170,69 @@ class TestMergeResults:
     def test_empty_merge(self):
         merged = merge_results("all", [])
         assert merged.sent == 0 and merged.epoch == 0 and merged.duration == 0.0
+
+    def test_stats_less_inputs_mixed_with_stats_bearing(self):
+        with_stats = self._result(epoch=0, duration=1.0)
+        with_stats.engine_stats = EngineStats(probes=4, echo_replies=2)
+        without_stats = self._result(epoch=0, duration=1.0)
+        assert without_stats.engine_stats is None
+        merged = merge_results("all", [without_stats, with_stats])
+        # None inputs are skipped, not treated as zeros that poison the sum
+        assert merged.engine_stats == EngineStats(probes=4, echo_replies=2)
+
+    def test_all_inputs_stats_less_leaves_none(self):
+        merged = merge_results(
+            "all",
+            [self._result(epoch=0, duration=1.0) for _ in range(3)],
+        )
+        assert merged.engine_stats is None
+
+    def test_generator_input(self):
+        merged = merge_results(
+            "all",
+            (self._result(epoch=2, duration=float(i)) for i in range(3)),
+        )
+        assert merged.sent == 12
+        assert merged.duration == 2.0
+        assert merged.epoch == 2
+
+
+class TestMergeEngineStats:
+    def test_empty_iterable_yields_zero_stats(self):
+        assert merge_engine_stats([]) == EngineStats()
+        assert merge_engine_stats(iter([])) == EngineStats()
+
+    def test_single_input_copies_not_aliases(self):
+        original = EngineStats(probes=7, lost=1)
+        merged = merge_engine_stats([original])
+        assert merged == original
+        assert merged is not original
+        merged.probes += 1
+        assert original.probes == 7
+
+    def test_inputs_never_mutated(self):
+        first = EngineStats(probes=1, error_replies=2)
+        second = EngineStats(probes=3, suppressed_errors=4)
+        merge_engine_stats([first, second])
+        assert first == EngineStats(probes=1, error_replies=2)
+        assert second == EngineStats(probes=3, suppressed_errors=4)
+
+    def test_every_field_sums(self):
+        first = EngineStats(
+            probes=1, lost=2, echo_replies=3, error_replies=4,
+            suppressed_errors=5, loops_hit=6, amplified_replies=7,
+        )
+        merged = merge_engine_stats([first, first, first])
+        assert merged == EngineStats(
+            probes=3, lost=6, echo_replies=9, error_replies=12,
+            suppressed_errors=15, loops_hit=18, amplified_replies=21,
+        )
+
+    def test_generator_input(self):
+        merged = merge_engine_stats(
+            EngineStats(probes=i) for i in range(4)
+        )
+        assert merged.probes == 6
 
 
 class TestDeterminism:
