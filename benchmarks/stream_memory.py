@@ -1,0 +1,288 @@
+"""Peak-RSS benchmark: streaming scan pipeline vs materialised lists.
+
+The streaming refactor's claim is that target memory no longer scales
+with scan size: a computable :class:`SubnetPartitionStream` plus a
+:class:`CountingSink` runs a scan in O(1) extra memory, where the list
+path holds every target (and buffers every record) at once.  This
+harness measures both paths' peak RSS across target counts and records
+the trajectory future PRs must defend.
+
+Because ``ru_maxrss``/``VmHWM`` are lifetime-monotonic *per process*,
+each configuration is measured in a fresh subprocess; the parent only
+orchestrates.  Three modes per target count:
+
+* **baseline** — world + scanner machinery warm-up (1 024 targets), so
+  import/allocator overhead is not charged to either path,
+* **list**     — targets materialised as ``list[int]``, records buffered
+  on the ``ScanResult``,
+* **stream**   — :class:`SubnetPartitionStream` targets, records to a
+  :class:`CountingSink`; nothing is ever buffered.
+
+The gate (CI smoke-perf, and this PR's acceptance criterion): the
+stream path's peak RSS *above baseline* stays within ``--max-ratio``
+(default 10 %) of the list path's extra RSS, plus an absolute
+``--slack`` floor for allocator noise at small counts.
+
+    PYTHONPATH=src python benchmarks/stream_memory.py
+    PYTHONPATH=src python benchmarks/stream_memory.py --targets 200000 \
+        --check benchmarks/results/BENCH_memory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_memory.json"
+DEFAULT_COUNTS = (10_000, 100_000, 1_000_000)
+DEFAULT_RATIO = 0.10
+DEFAULT_SLACK_MIB = 8.0
+BASELINE_TARGETS = 1_024
+
+# A /32 has 2^32 /64 subnets: enough headroom for any target count here.
+_BENCH_PREFIX = "2001:db8::/32"
+
+
+def peak_rss_mib() -> float:
+    """Lifetime peak resident set size of this process, in MiB."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+# --------------------------------------------------------------------- #
+# child: one measurement per process
+# --------------------------------------------------------------------- #
+
+
+def measure(mode: str, count: int, seed: int) -> dict:
+    from repro.addr.ipv6 import IPv6Prefix
+    from repro.netsim.engine import SimulationEngine
+    from repro.scanner.stream import CountingSink, SubnetPartitionStream
+    from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+    from repro.topology.config import tiny_config
+    from repro.topology.generator import build_world
+
+    world = build_world(tiny_config(seed=seed))
+    stream = SubnetPartitionStream(IPv6Prefix.parse(_BENCH_PREFIX), 64)
+    if mode == "baseline":
+        count = BASELINE_TARGETS
+    targets = stream[:count] if mode == "list" else _window(stream, count)
+    engine = SimulationEngine(world, epoch=0)
+    scanner = ZMapV6Scanner(
+        engine, ScanConfig(pps=200_000.0, seed=seed, batch_size=1024)
+    )
+    sink = None if mode == "list" else CountingSink()
+    result = scanner.scan(targets, name=f"mem-{mode}", sink=sink)
+    return {
+        "mode": mode,
+        "targets": count,
+        "received": result.received,
+        "peak_mib": round(peak_rss_mib(), 2),
+    }
+
+
+def _window(stream, count: int):
+    """The first ``count`` targets of a stream, still computed on demand."""
+    if count >= len(stream):
+        return stream
+    return _Window(stream, count)
+
+
+class _Window(Sequence):
+    """A length-limited view of a stream (keeps O(1) memory)."""
+
+    def __init__(self, stream, count: int) -> None:
+        self._stream = stream
+        self._count = count
+        self.name = stream.name
+        self.subnet_length = stream.subnet_length
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        return self._stream[index]
+
+    def __iter__(self):
+        return (self._stream[i] for i in range(self._count))
+
+
+# --------------------------------------------------------------------- #
+# parent: orchestration, reporting, regression gate
+# --------------------------------------------------------------------- #
+
+
+def _measure_in_subprocess(mode: str, count: int, seed: int) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    output = subprocess.run(
+        [
+            sys.executable,
+            __file__,
+            "--measure",
+            mode,
+            "--targets",
+            str(count),
+            "--seed",
+            str(seed),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark(counts: list[int], seed: int) -> dict:
+    report: dict = {
+        "meta": {
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "prefix": _BENCH_PREFIX,
+        },
+        "runs": [],
+    }
+    baseline = _measure_in_subprocess("baseline", BASELINE_TARGETS, seed)
+    report["baseline_mib"] = baseline["peak_mib"]
+    print(f"baseline       {BASELINE_TARGETS:>9} targets  {baseline['peak_mib']:>8.1f} MiB peak")
+    for count in counts:
+        row: dict = {"targets": count}
+        for mode in ("list", "stream"):
+            stats = _measure_in_subprocess(mode, count, seed)
+            extra = max(0.0, stats["peak_mib"] - baseline["peak_mib"])
+            row[mode] = {
+                "peak_mib": stats["peak_mib"],
+                "extra_mib": round(extra, 2),
+                "received": stats["received"],
+            }
+            print(
+                f"{mode:<8} {count:>15,} targets  {stats['peak_mib']:>8.1f} MiB peak"
+                f"  (+{extra:>7.1f} MiB over baseline)"
+            )
+        report["runs"].append(row)
+    return report
+
+
+def check_invariant(report: dict, max_ratio: float, slack_mib: float) -> list[str]:
+    """The streaming-memory guarantee, per target count."""
+    failures = []
+    for row in report["runs"]:
+        list_extra = row["list"]["extra_mib"]
+        stream_extra = row["stream"]["extra_mib"]
+        ceiling = max_ratio * list_extra + slack_mib
+        verdict = "ok" if stream_extra <= ceiling else "EXCEEDED"
+        print(
+            f"check {row['targets']:>12,}: stream +{stream_extra:.1f} MiB vs "
+            f"ceiling {ceiling:.1f} MiB ({max_ratio:.0%} of list "
+            f"+{list_extra:.1f} MiB, slack {slack_mib:.0f}) {verdict}"
+        )
+        if stream_extra > ceiling:
+            failures.append(
+                f"{row['targets']} targets: stream extra {stream_extra:.1f} MiB "
+                f"> {ceiling:.1f} MiB"
+            )
+    return failures
+
+
+def compare_baseline(report: dict, baseline_path: Path) -> None:
+    """Informational trajectory vs the committed baseline file."""
+    baseline = json.loads(baseline_path.read_text())
+    committed = {row["targets"]: row for row in baseline.get("runs", [])}
+    for row in report["runs"]:
+        reference = committed.get(row["targets"])
+        if reference is None:
+            continue
+        print(
+            f"vs committed {row['targets']:>12,}: stream "
+            f"+{row['stream']['extra_mib']:.1f} MiB now, "
+            f"+{reference['stream']['extra_mib']:.1f} MiB at baseline"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--measure",
+        choices=("baseline", "list", "stream"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: child-process mode
+    )
+    parser.add_argument(
+        "--targets",
+        type=int,
+        default=None,
+        help="single target count (default: 10k/100k/1M sweep)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-ratio", type=float, default=DEFAULT_RATIO)
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK_MIB)
+    parser.add_argument("--output", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure only, keep baseline file"
+    )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_RESULTS,
+        default=None,
+        help="verify the streaming-memory invariant (and report against "
+        "this committed baseline); exit 1 on breach",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure is not None:
+        stats = measure(args.measure, args.targets or BASELINE_TARGETS, args.seed)
+        print(json.dumps(stats))
+        return 0
+
+    counts = [args.targets] if args.targets else list(DEFAULT_COUNTS)
+    report = run_benchmark(counts, args.seed)
+    write = not args.no_write and (
+        args.check is None or args.output != DEFAULT_RESULTS
+    )
+    if write:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    failures = check_invariant(report, args.max_ratio, args.slack)
+    if args.check is not None and args.check.exists():
+        compare_baseline(report, args.check)
+    if failures:
+        print("streaming-memory invariant violated:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,6 @@ def _regenerate(benchmark, ctx, experiment_id):
 def test_fig3_country_distribution(benchmark, ctx, save_report):
     report = _regenerate(benchmark, ctx, "fig3")
     save_report(report)
-    shares = dict(report.data["shares"])
     # Asia-heavy skew: India and China in the global top 4 (paper: 27/20 %).
     top4 = [country for country, _ in report.data["shares"][:4]]
     assert "IND" in top4 and "CHN" in top4
@@ -75,7 +74,6 @@ def test_fig8_loops_and_amplification(benchmark, ctx, save_report):
     assert data["looping_routers"] > 10
     # The majority of looping routers loop few subnets; a heavy tail loops
     # orders of magnitude more (Fig. 8b).
-    ccdf = dict(data["loops_per_router_ccdf"])
     assert max(v for v, _ in data["loops_per_router_ccdf"]) >= 8
     # Amplification exists, and extreme factors are rare (Fig. 8a).
     if data["amplifying_routers"]:

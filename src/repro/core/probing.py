@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from ..addr.randomgen import random_targets_for_sras
 from ..netsim.engine import SimulationEngine
 from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
 from ..scanner.sharded import ShardedScanRunner
+from ..scanner.stream import LazyStream, TargetStream
 from ..scanner.zmapv6 import ScanConfig, ZMapV6Scanner
 from ..telemetry.scan import ScanTelemetry
 from ..topology.entities import World
@@ -86,7 +88,7 @@ class ComparisonSeries:
 def _scan(
     world: World,
     config: ScanConfig,
-    targets: list[int],
+    targets: "Sequence[int] | TargetStream",
     *,
     name: str,
     epoch: int,
@@ -124,8 +126,14 @@ def run_sra_vs_random(
     paced = paced_pps(len(sra_targets), scan_duration, pps)
     for epoch in range(epochs):
         rng = random.Random((seed << 8) | epoch)
-        random_targets = list(
-            random_targets_for_sras(sra_targets, subnet_length, rng)
+        # Lazy and released per epoch: only one epoch's random draw is
+        # ever resident next to the shared SRA list.
+        random_targets = LazyStream(
+            lambda rng=rng: random_targets_for_sras(
+                sra_targets, subnet_length, rng
+            ),
+            name=f"random-epoch{epoch}",
+            subnet_length=subnet_length,
         )
         for method, targets, bucket in (
             ("sra", sra_targets, series.sra),
@@ -141,6 +149,7 @@ def run_sra_vs_random(
                 telemetry=telemetry,
             )
             bucket.append(MethodScan(epoch=epoch, result=result))
+        random_targets.release()
     return series
 
 

@@ -16,6 +16,13 @@ from ..hitlist.hitlist import Hitlist
 from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
 from ..scanner.sharded import ShardedScanRunner
+from ..scanner.stream import (
+    LazyStream,
+    TargetStream,
+    as_stream,
+    make_spec,
+    register_stream_builder,
+)
 from ..scanner.targets import (
     TargetList,
     bgp_plain_targets,
@@ -30,6 +37,19 @@ from ..topology.entities import World
 from .aliasfilter import AliasFilterStats, filter_aliased
 
 INPUT_SET_NAMES = ("bgp-plain", "bgp-48", "bgp-64", "route6-64", "hitlist-64")
+
+# Input sets whose construction draws from the survey's shared RNG, in the
+# order the eager build consumed it.  The stream chain must realise them in
+# exactly this order for the sampled targets to match the eager build.
+_RNG_SET_ORDER = ("bgp-48", "bgp-64", "route6-64")
+
+_SUBNET_LENGTHS = {
+    "bgp-plain": None,
+    "bgp-48": 48,
+    "bgp-64": 64,
+    "route6-64": 64,
+    "hitlist-64": 64,
+}
 
 
 @dataclass(slots=True)
@@ -75,6 +95,78 @@ class SurveyConfig:
     # `progress` events (0 = none).
     telemetry: bool = False
     progress_every: int = 0
+
+
+# Config fields a worker needs to rebuild an input set from a spec.
+_BUDGET_FIELDS = (
+    "seed",
+    "max_bgp_plain",
+    "slash48_per_prefix",
+    "max_bgp_48",
+    "slash64_per_prefix",
+    "max_bgp_64",
+    "route6_per_prefix",
+    "max_route6",
+)
+
+
+def _input_set_factories(
+    world: World, config: SurveyConfig, rng: random.Random
+) -> dict[str, object]:
+    """Zero-arg builders for the world-derived input sets.
+
+    The single source of truth for *how* each set is built, shared by the
+    survey's lazy stream chain and the spec builder that pool workers use
+    to rebuild a set.  The RNG-consuming factories must run in
+    :data:`_RNG_SET_ORDER` to reproduce the eager build's draws.
+    """
+    return {
+        "bgp-plain": lambda: bgp_plain_targets(
+            world.bgp, max_targets=config.max_bgp_plain
+        ),
+        "bgp-48": lambda: bgp_slash48_targets(
+            world.bgp,
+            max_per_prefix=config.slash48_per_prefix,
+            max_targets=config.max_bgp_48,
+            rng=rng,
+        ),
+        "bgp-64": lambda: bgp_slash64_targets(
+            world.bgp,
+            max_per_prefix=config.slash64_per_prefix,
+            max_targets=config.max_bgp_64,
+            rng=rng,
+        ),
+        "route6-64": lambda: route6_slash64_targets(
+            world.irr,
+            per_prefix=config.route6_per_prefix,
+            max_targets=config.max_route6,
+            rng=rng,
+        ),
+    }
+
+
+def _build_survey_input_set(world: World, *, set_name: str, **budgets) -> TargetStream:
+    """Spec builder: rebuild one world-derived input set in a pool worker.
+
+    RNG-consuming sets share one seeded ``random.Random``; to reproduce
+    the parent's draws the builder realises every RNG predecessor (and
+    discards it) before building the requested set.  The hitlist set is
+    not rebuildable from a world, so it never gets a spec.
+    """
+    config = SurveyConfig(**budgets)
+    rng = random.Random(config.seed)
+    factories = _input_set_factories(world, config, rng)
+    if set_name not in factories:
+        raise ValueError(f"unknown survey input set {set_name!r}")
+    if set_name in _RNG_SET_ORDER:
+        for name in _RNG_SET_ORDER:
+            built = factories[name]()
+            if name == set_name:
+                return as_stream(built)
+    return as_stream(factories[set_name]())
+
+
+register_stream_builder("survey-input-set", _build_survey_input_set)
 
 
 @dataclass(slots=True)
@@ -196,41 +288,50 @@ class SRASurvey:
 
     # ---------------- input sets ---------------- #
 
-    def build_input_sets(self) -> dict[str, TargetList]:
-        """Materialise the five Table 2 input sets under the budgets."""
+    def build_input_sets(self) -> dict[str, LazyStream]:
+        """The five Table 2 input sets as lazy streams under the budgets.
+
+        Nothing is generated until a set is first touched, and
+        :meth:`run` releases each stream's buffer after scanning it, so
+        the five sets never co-reside in memory.  The RNG-consuming sets
+        are ``after``-chained in build order: whichever is touched first,
+        its predecessors realise (and consume their shared-RNG draws)
+        first, so every sampled target matches the old eager build.
+        """
         config = self.config
         rng = random.Random(config.seed)
-        return {
-            "bgp-plain": bgp_plain_targets(
-                self.world.bgp, max_targets=config.max_bgp_plain
+        factories = _input_set_factories(self.world, config, rng)
+        budgets = {name: getattr(config, name) for name in _BUDGET_FIELDS}
+        streams: dict[str, LazyStream] = {}
+        previous: LazyStream | None = None
+        for name, factory in factories.items():
+            stream = LazyStream(
+                factory,
+                name=name,
+                subnet_length=_SUBNET_LENGTHS[name],
+                after=previous if name in _RNG_SET_ORDER else None,
+                spec=make_spec(
+                    "survey-input-set", __name__, set_name=name, **budgets
+                ),
+            )
+            if name in _RNG_SET_ORDER:
+                previous = stream
+            streams[name] = stream
+        # The hitlist is not part of the world, so this set has no
+        # worker-rebuildable spec; sharded process pools ship its data.
+        streams["hitlist-64"] = LazyStream(
+            lambda: hitlist_slash64_targets(
+                self.hitlist, max_targets=self.config.max_hitlist
             ),
-            "bgp-48": bgp_slash48_targets(
-                self.world.bgp,
-                max_per_prefix=config.slash48_per_prefix,
-                max_targets=config.max_bgp_48,
-                rng=rng,
-            ),
-            "bgp-64": bgp_slash64_targets(
-                self.world.bgp,
-                max_per_prefix=config.slash64_per_prefix,
-                max_targets=config.max_bgp_64,
-                rng=rng,
-            ),
-            "route6-64": route6_slash64_targets(
-                self.world.irr,
-                per_prefix=config.route6_per_prefix,
-                max_targets=config.max_route6,
-                rng=rng,
-            ),
-            "hitlist-64": hitlist_slash64_targets(
-                self.hitlist, max_targets=config.max_hitlist
-            ),
-        }
+            name="hitlist-64",
+            subnet_length=_SUBNET_LENGTHS["hitlist-64"],
+        )
+        return streams
 
     # ---------------- running ---------------- #
 
     def run_input_set(
-        self, name: str, targets: TargetList, *, epoch: int = 0
+        self, name: str, targets: TargetList | TargetStream, *, epoch: int = 0
     ) -> InputSetResult:
         pps = paced_pps(len(targets), self.config.scan_duration, self.config.pps)
         scan_config = ScanConfig(
@@ -254,12 +355,18 @@ class SRASurvey:
         )
 
     def run(self, *, epoch: int = 0) -> SurveyResult:
-        """Scan all five input sets and aggregate."""
+        """Scan all five input sets and aggregate.
+
+        Each input-set stream is released right after its scan, so peak
+        target memory is the largest single set, not the sum of five.
+        """
         survey = SurveyResult()
         for name, targets in self.build_input_sets().items():
             survey.input_sets[name] = self.run_input_set(
                 name, targets, epoch=epoch
             )
+            if isinstance(targets, LazyStream):
+                targets.release()
         return survey
 
     def run_repeated(self, times: int = 2, *, epoch_base: int = 0) -> list[SurveyResult]:

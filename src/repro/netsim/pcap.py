@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterable, Sequence
+from typing import BinaryIO, Sequence
 
 from ..packet.icmpv6 import ICMPv6Type, echo_reply_for, error_message
 from ..packet.ipv6hdr import HEADER_LENGTH, IPv6Header

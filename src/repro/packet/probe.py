@@ -16,7 +16,6 @@ forged traffic (the zmap "validation" trick).
 from __future__ import annotations
 
 import hashlib
-import struct
 from dataclasses import dataclass
 
 from .icmpv6 import ICMPv6Message, ICMPv6Type

@@ -25,6 +25,16 @@ from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
 from .records import ScanResult
 from .sharded import ShardedScanRunner, auto_shard_count
+from .stream import (
+    CsvSink,
+    JsonlSink,
+    LazyStream,
+    RecordSink,
+    TeeSink,
+    as_stream,
+    make_spec,
+    register_stream_builder,
+)
 from .targets import (
     TargetList,
     bgp_plain_targets,
@@ -37,9 +47,19 @@ from .zmapv6 import ScanConfig
 
 INPUT_SETS = ("bgp-plain", "bgp-48", "bgp-64", "route6-64", "hitlist-64")
 
+_SUBNET_LENGTHS = {
+    "bgp-plain": None,
+    "bgp-48": 48,
+    "bgp-64": 64,
+    "route6-64": 64,
+    "hitlist-64": 64,
+}
 
-def build_targets(world, input_set: str, *, max_targets: int | None, seed: int) -> TargetList:
-    """Materialise one of the survey's input sets for a world."""
+
+def _materialise_targets(
+    world, input_set: str, *, max_targets: int | None, seed: int
+) -> TargetList:
+    """Generate one of the survey's input sets for a world, eagerly."""
     rng = random.Random(seed)
     if input_set == "bgp-plain":
         return bgp_plain_targets(world.bgp, max_targets=max_targets)
@@ -59,6 +79,41 @@ def build_targets(world, input_set: str, *, max_targets: int | None, seed: int) 
         hitlist = harvest_hitlist(world)
         return hitlist_slash64_targets(hitlist, max_targets=max_targets)
     raise ValueError(f"unknown input set {input_set!r}")
+
+
+def _build_cli_input_set(world, *, input_set: str, max_targets, seed: int):
+    return as_stream(
+        _materialise_targets(
+            world, input_set, max_targets=max_targets, seed=seed
+        )
+    )
+
+
+register_stream_builder("cli-input-set", _build_cli_input_set)
+
+
+def build_targets(
+    world, input_set: str, *, max_targets: int | None, seed: int
+) -> LazyStream:
+    """One of the survey's input sets, as a lazily-realised target stream.
+
+    The stream carries a picklable spec, so sharded process-pool scans
+    ship the recipe (a few hundred bytes) instead of the target list.
+    """
+    return LazyStream(
+        lambda: _materialise_targets(
+            world, input_set, max_targets=max_targets, seed=seed
+        ),
+        name=input_set,
+        subnet_length=_SUBNET_LENGTHS[input_set],
+        spec=make_spec(
+            "cli-input-set",
+            __name__,
+            input_set=input_set,
+            max_targets=max_targets,
+            seed=seed,
+        ),
+    )
 
 
 def check_output_paths(paths: "list[tuple[str, str | None]]") -> str | None:
@@ -114,6 +169,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-alias-filter", action="store_true")
     parser.add_argument("--output", help="write records as CSV")
     parser.add_argument("--jsonl", help="write records as JSONL")
+    parser.add_argument(
+        "--stream-records",
+        action="store_true",
+        help="constant-memory mode: write records to --output/--jsonl as "
+        "they are matched instead of buffering them; output bytes are "
+        "identical to the buffered path. Requires --no-alias-filter "
+        "(the alias filter needs the full record set)",
+    )
+    parser.add_argument(
+        "--max-rss-check",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="exit 3 if the process's peak RSS exceeded MB mebibytes "
+        "(a guard rail for constant-memory scans)",
+    )
     parser.add_argument("--pcap", help="also write raw traffic as pcap")
     parser.add_argument(
         "--telemetry-out", help="write the scan's JSONL event stream here"
@@ -133,6 +204,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
     if args.progress_every < 0:
         parser.error("--progress-every must be >= 0")
+    if args.stream_records:
+        if not (args.output or args.jsonl):
+            parser.error("--stream-records needs --output and/or --jsonl")
+        if not args.no_alias_filter:
+            parser.error(
+                "--stream-records requires --no-alias-filter: the alias "
+                "filter re-reads the full record set, which streaming "
+                "never buffers"
+            )
     problem = check_output_paths(
         [
             ("--output", args.output),
@@ -163,8 +243,16 @@ def main(argv: list[str] | None = None) -> int:
     runner = ShardedScanRunner(
         world, shards=shards, executor=args.parallel, telemetry=telemetry
     )
+    sink: RecordSink | None = None
+    if args.stream_records:
+        outputs: list[RecordSink] = []
+        if args.output:
+            outputs.append(CsvSink(args.output))
+        if args.jsonl:
+            outputs.append(JsonlSink(args.jsonl))
+        sink = outputs[0] if len(outputs) == 1 else TeeSink(tuple(outputs))
     result: ScanResult = runner.scan(
-        list(targets),
+        targets,
         ScanConfig(
             pps=pps,
             hop_limit=args.hop_limit,
@@ -173,7 +261,10 @@ def main(argv: list[str] | None = None) -> int:
         ),
         name=args.input_set,
         epoch=args.epoch,
+        sink=sink,
     )
+    if sink is not None:
+        sink.close()
     if not args.no_alias_filter:
         result, _ = filter_aliased(result, published_alias_list(world))
 
@@ -182,10 +273,11 @@ def main(argv: list[str] | None = None) -> int:
             telemetry.write_jsonl(args.telemetry_out)
         if args.metrics_out:
             telemetry.write_prometheus(args.metrics_out)
-    if args.output:
-        result.write_csv(args.output)
-    if args.jsonl:
-        result.write_jsonl(args.jsonl)
+    if sink is None:
+        if args.output:
+            result.write_csv(args.output)
+        if args.jsonl:
+            result.write_jsonl(args.jsonl)
     if args.pcap:
         from ..netsim.pcap import capture_scan
 
@@ -211,7 +303,27 @@ def main(argv: list[str] | None = None) -> int:
             f"both={len(classes['both'])}"
         )
         print(f"loops hit  : {result.loops_observed}")
+    if args.max_rss_check is not None:
+        peak = peak_rss_mib()
+        if peak > args.max_rss_check:
+            print(
+                f"sra-scan: peak RSS {peak:.1f} MiB exceeded "
+                f"--max-rss-check {args.max_rss_check:.1f} MiB",
+                file=sys.stderr,
+            )
+            return 3
     return 0
+
+
+def peak_rss_mib() -> float:
+    """This process's lifetime peak resident set size, in MiB."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
 
 
 if __name__ == "__main__":

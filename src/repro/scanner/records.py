@@ -50,9 +50,51 @@ class ScanRecord:
         return self.icmp_type == ICMPv6Type.TIME_EXCEEDED
 
 
+def record_jsonl_line(record: ScanRecord) -> str:
+    """One record as its canonical JSONL line (with trailing newline).
+
+    The single source of truth for the JSONL record format: both the
+    post-scan ``ScanResult.write_jsonl`` and the streaming
+    :class:`~repro.scanner.stream.JsonlSink` emit exactly these bytes.
+    """
+    return (
+        json.dumps(
+            {
+                "target": format_address(record.target),
+                "source": format_address(record.source),
+                "icmp_type": record.icmp_type,
+                "code": record.code,
+                "count": record.count,
+                "time": record.time,
+            }
+        )
+        + "\n"
+    )
+
+
+def record_csv_row(record: ScanRecord) -> list:
+    """One record as its CSV row (shared with the streaming CSV sink)."""
+    return [
+        format_address(record.target),
+        format_address(record.source),
+        record.icmp_type,
+        record.code,
+        record.count,
+        f"{record.time:.6f}",
+    ]
+
+
 @dataclass(slots=True)
 class ScanResult:
-    """All records of one scan plus send-side counters."""
+    """All records of one scan plus send-side counters.
+
+    A scan run with a streaming :class:`~repro.scanner.stream.RecordSink`
+    does not buffer its records here; ``records_streamed`` counts the
+    rows handed to the sink so the aggregate counters stay truthful.
+    Record-derived views (:meth:`sources`, :meth:`classify_sources`, ...)
+    are only meaningful for buffered scans — streaming consumers get the
+    same aggregates from a :class:`~repro.scanner.stream.CountingSink`.
+    """
 
     name: str
     epoch: int = 0
@@ -64,6 +106,8 @@ class ScanResult:
     # Snapshot of the driving engine's counters (suppressed errors, loop
     # hits, ...) so observability survives merging and parallel execution.
     engine_stats: "EngineStats | None" = None
+    # Records emitted to an external RecordSink instead of `records`.
+    records_streamed: int = 0
 
     # ---------------- aggregate counters ---------------- #
 
@@ -76,7 +120,7 @@ class ScanResult:
         are "only visible in raw packet captures" (§7) — that raw volume
         is :attr:`flood_packets`.
         """
-        return len(self.records)
+        return len(self.records) + self.records_streamed
 
     @property
     def flood_packets(self) -> int:
@@ -141,33 +185,12 @@ class ScanResult:
                 ["target", "source", "icmp_type", "code", "count", "time"]
             )
             for record in self.records:
-                writer.writerow(
-                    [
-                        format_address(record.target),
-                        format_address(record.source),
-                        record.icmp_type,
-                        record.code,
-                        record.count,
-                        f"{record.time:.6f}",
-                    ]
-                )
+                writer.writerow(record_csv_row(record))
 
     def write_jsonl(self, path: str | Path) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             for record in self.records:
-                handle.write(
-                    json.dumps(
-                        {
-                            "target": format_address(record.target),
-                            "source": format_address(record.source),
-                            "icmp_type": record.icmp_type,
-                            "code": record.code,
-                            "count": record.count,
-                            "time": record.time,
-                        }
-                    )
-                    + "\n"
-                )
+                handle.write(record_jsonl_line(record))
 
 
 def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
@@ -188,6 +211,7 @@ def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
         merged.sent += result.sent
         merged.lost += result.lost
         merged.loops_observed += result.loops_observed
+        merged.records_streamed += result.records_streamed
         merged.duration = max(merged.duration, result.duration)
         merged.records.extend(result.records)
         if result.engine_stats is not None:

@@ -42,6 +42,7 @@ from ..telemetry.scan import (
 )
 from ..topology.entities import World
 from .records import ScanResult, merge_results
+from .stream import RecordSink, StreamSpec, TargetStream, build_stream, stream_buffered
 from .zmapv6 import ScanConfig, ZMapV6Scanner
 
 __all__ = [
@@ -80,7 +81,7 @@ class ShardOutcome:
 def scan_shard(
     world: World,
     config: ScanConfig,
-    targets: Sequence[int],
+    targets: "Sequence[int] | TargetStream | StreamSpec",
     *,
     name: str,
     epoch: int,
@@ -91,7 +92,10 @@ def scan_shard(
     """Run one shard of a scan with the rate limiter deferred.
 
     Picklable by construction (module-level, plain-data arguments) so it
-    can serve as the process-pool work function.
+    can serve as the process-pool work function.  ``targets`` may be a
+    :class:`~repro.scanner.stream.StreamSpec`, in which case the stream
+    is rebuilt against ``world`` — the spec-plus-index-window protocol
+    that keeps worker input O(1) in target count.
 
     ``config.batch_size`` is passed through unchanged, so shard scans run
     on the engine's batched hot path.  Batching composes with deferred
@@ -99,6 +103,8 @@ def scan_shard(
     recorded ``(time, router_id)`` checks come out in exactly the order a
     per-probe scan would record them, which the merge replay relies on.
     """
+    if isinstance(targets, StreamSpec):
+        targets = build_stream(targets, world)
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
     scanner = ZMapV6Scanner(
         engine,
@@ -129,6 +135,8 @@ def merge_shard_outcomes(
     name: str,
     epoch: int,
     telemetry: ScanTelemetry | None = None,
+    targets_buffered: int = 0,
+    sink: RecordSink | None = None,
 ) -> ScanResult:
     """Merge deferred-mode shards into the exact serial result.
 
@@ -199,6 +207,14 @@ def merge_shard_outcomes(
     if merged.engine_stats is not None:
         merged.engine_stats.error_replies -= disallowed
         merged.engine_stats.suppressed_errors += disallowed
+    if sink is not None:
+        # Shards must buffer their records for the replay correction, so
+        # streaming drains here, post-merge — in exact serial order, and
+        # before the closing telemetry so gauges see the drained state.
+        for record in merged.records:
+            sink.emit(record)
+        merged.records_streamed += len(merged.records)
+        merged.records.clear()
 
     if telemetry is not None and collector is not None:
         _merge_telemetry(
@@ -210,6 +226,7 @@ def merge_shard_outcomes(
             disallowed=disallowed,
             dropped_records=dropped_records,
             first_suppressed=dict(collector.first_suppressed),
+            targets_buffered=targets_buffered,
         )
     return merged
 
@@ -224,6 +241,7 @@ def _merge_telemetry(
     disallowed: int,
     dropped_records: list,
     first_suppressed: dict[int, float],
+    targets_buffered: int = 0,
 ) -> None:
     """Fold per-shard captures into the facade, shard-count invariantly.
 
@@ -269,7 +287,9 @@ def _merge_telemetry(
             duration=result.duration,
         )
     telemetry.merge_registry(registry)
-    telemetry.scan_finished(scan=name, epoch=epoch, result=merged)
+    telemetry.scan_finished(
+        scan=name, epoch=epoch, result=merged, targets_buffered=targets_buffered
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -281,9 +301,14 @@ _WORKER_WORLD: World | None = None
 _WORKER_TARGETS: Sequence[int] | None = None
 
 
-def _init_worker(world: World, targets: Sequence[int]) -> None:
+def _init_worker(world: World, targets: "Sequence[int] | StreamSpec") -> None:
     global _WORKER_WORLD, _WORKER_TARGETS
     _WORKER_WORLD = world
+    if isinstance(targets, StreamSpec):
+        # Spec-shipped streams are rebuilt once per worker process; the
+        # pickled payload is a few hundred bytes regardless of target
+        # count, instead of the target list itself.
+        targets = build_stream(targets, world)
     _WORKER_TARGETS = targets
 
 
@@ -356,6 +381,7 @@ class ShardedScanRunner:
         name: str = "scan",
         epoch: int = 0,
         telemetry: ScanTelemetry | None = None,
+        sink: RecordSink | None = None,
     ) -> ScanResult:
         """Scan all targets across ``self.shards`` shards and merge.
 
@@ -363,11 +389,22 @@ class ShardedScanRunner:
         receives the event stream and the merged metrics; both come out
         shard-count invariant except for the per-shard ``progress`` /
         ``shard_finished`` events.
+
+        ``sink`` streams records out instead of buffering them on the
+        returned result.  With one shard the scanner emits each record as
+        it is matched; with several, shards must still buffer their
+        records for the deferred rate-limit replay, so the sink is
+        drained once after the merge (the memory win there is on the
+        target side, via spec-shipped streams).  Either way the sink sees
+        the records in exact serial order and the returned result carries
+        them in ``records_streamed`` instead of ``records``.
         """
         config = config or ScanConfig()
         effective = telemetry if telemetry is not None else self.telemetry
         target_list = (
-            targets if isinstance(targets, (list, tuple)) else list(targets)
+            targets
+            if isinstance(targets, (list, tuple, TargetStream))
+            else list(targets)
         )
         if self.shards == 1:
             engine = SimulationEngine(self.world, epoch=epoch)
@@ -376,7 +413,7 @@ class ShardedScanRunner:
                 replace(config, shard=0, shards=1),
                 telemetry=effective,
             )
-            return scanner.scan(target_list, name=name, epoch=epoch)
+            return scanner.scan(target_list, name=name, epoch=epoch, sink=sink)
         if effective is not None:
             effective.scan_started(
                 scan=name,
@@ -393,7 +430,13 @@ class ShardedScanRunner:
             collect_telemetry=effective is not None,
         )
         return merge_shard_outcomes(
-            self.world, outcomes, name=name, epoch=epoch, telemetry=effective
+            self.world,
+            outcomes,
+            name=name,
+            epoch=epoch,
+            telemetry=effective,
+            targets_buffered=stream_buffered(target_list),
+            sink=sink,
         )
 
     # ---------------- execution strategies ---------------- #
@@ -433,10 +476,18 @@ class ShardedScanRunner:
             self.shards, (os.cpu_count() or 1) if mode == "process" else self.shards
         )
         if mode == "process":
+            # Streams with a picklable recipe ship that recipe instead of
+            # their data: each worker rebuilds the stream from the world
+            # it already received, keeping the task payload O(1).
+            payload: Sequence[int] | StreamSpec = target_list
+            if isinstance(target_list, TargetStream):
+                spec = target_list.spec()
+                if spec is not None:
+                    payload = spec
             pool: Executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.world, target_list),
+                initargs=(self.world, payload),
             )
             with pool:
                 futures = [

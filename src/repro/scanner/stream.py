@@ -1,0 +1,654 @@
+"""Streaming targets and record sinks: the constant-memory scan pipeline.
+
+The paper's operational pipeline is a Go address generator *streaming*
+targets into a stateless ZMapv6 — neither side ever holds the 28.2 B
+target list in memory.  This module gives the reproduction the same
+shape:
+
+* :class:`TargetStream` — a named, length-known, index-seekable,
+  provenance-carrying sequence of probe targets.  Implementations range
+  from a thin list wrapper (:class:`ListStream`) through lazily-realised
+  generator output (:class:`LazyStream`) to fully *computable* streams
+  (:class:`SubnetPartitionStream`) whose ``stream[i]`` is pure
+  arithmetic and whose memory footprint is O(1) in target count.
+* :class:`StreamSpec` — a picklable recipe for rebuilding a stream from
+  a :class:`~repro.topology.entities.World`.  Sharded scans ship
+  ``(spec, index window)`` to pool workers instead of pickled target
+  lists, so worker memory stays O(1) in target count too.
+* :class:`RecordSink` — where matched reply records go.  The in-memory
+  sink preserves today's :class:`~repro.scanner.records.ScanResult`
+  semantics; the JSONL/CSV sinks write rows as they are matched (byte
+  identical to ``ScanResult.write_jsonl``/``write_csv`` output); the
+  counting sink keeps aggregates only.
+* :func:`shard_positions` — the single source of truth for the
+  zmap-style permuted visit order and its shard windows, shared by the
+  serial scanner and the sharded runner.
+
+Determinism contract: a stream yields exactly the same target sequence
+as the materialised list it replaces, and sinks receive records in probe
+order, so streamed scans are byte-identical to the list path.
+"""
+
+from __future__ import annotations
+
+import importlib
+from abc import abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, NamedTuple
+
+from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix
+from ..addr.permutation import CyclicPermutation
+from .records import ScanRecord, record_csv_row, record_jsonl_line
+
+if TYPE_CHECKING:  # specs rebuild streams from a world; ducks otherwise
+    from ..topology.entities import World
+
+__all__ = [
+    "CountingSink",
+    "CsvSink",
+    "IndexWindow",
+    "JsonlSink",
+    "LazyStream",
+    "ListStream",
+    "MemorySink",
+    "PermutedStream",
+    "RecordSink",
+    "StreamSpec",
+    "SubnetPartitionStream",
+    "TargetStream",
+    "as_stream",
+    "build_stream",
+    "register_stream_builder",
+    "shard_positions",
+    "stream_buffered",
+]
+
+
+# --------------------------------------------------------------------- #
+# permuted visit order and shard windows
+# --------------------------------------------------------------------- #
+
+
+class IndexWindow(NamedTuple):
+    """One shard's slice of the permuted visit order.
+
+    Shard ``shard`` of ``shards`` takes every ``shards``-th slot of the
+    global probe order starting at slot ``shard`` — zmap's sharding rule.
+    Windows are pairwise disjoint and their position-ordered union is
+    exactly the serial order (pinned by a hypothesis property test).
+    """
+
+    shard: int = 0
+    shards: int = 1
+
+
+def shard_positions(
+    size: int,
+    *,
+    seed: int,
+    epoch: int = 0,
+    window: IndexWindow = IndexWindow(),
+    permute: bool = True,
+) -> Iterator[tuple[int, int]]:
+    """Yield ``(global_position, target_index)`` for one shard window.
+
+    The global position is the probe's slot in the full (serial) visit
+    order; pacing on it gives every shard of a multi-shard scan the same
+    virtual clock as the serial scan.  This generator is O(1) in memory:
+    the permutation walks a cyclic group, never a materialised list.
+    """
+    shard, shards = window
+    if not 0 <= shard < shards:
+        raise ValueError("window shard must be in [0, shards)")
+    if size == 0:
+        return
+    if not permute:
+        for index in range(shard, size, shards):
+            yield index, index
+        return
+    permutation = CyclicPermutation(size, seed=seed ^ epoch)
+    if shards == 1:
+        yield from enumerate(permutation)
+        return
+    for position, index in enumerate(permutation):
+        if position % shards == shard:
+            yield position, index
+
+
+# --------------------------------------------------------------------- #
+# stream specs: picklable provenance, rebuildable against a world
+# --------------------------------------------------------------------- #
+
+_STREAM_BUILDERS: dict[str, Callable[..., "TargetStream"]] = {}
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A picklable recipe: which registered builder recreates the stream.
+
+    ``module`` is imported before lookup so pool workers that never
+    imported the registering module (e.g. ``repro.core.survey``) still
+    resolve the builder.  ``kwargs`` is a tuple of ``(key, value)``
+    pairs, keeping the spec hashable and pickle-stable.
+    """
+
+    builder: str
+    module: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def arguments(self) -> dict[str, object]:
+        return dict(self.kwargs)
+
+
+def register_stream_builder(
+    name: str, fn: Callable[..., "TargetStream"]
+) -> Callable[..., "TargetStream"]:
+    """Register ``fn(world, **kwargs) -> TargetStream`` under ``name``."""
+    _STREAM_BUILDERS[name] = fn
+    return fn
+
+
+def make_spec(builder: str, module: str, **kwargs) -> StreamSpec:
+    return StreamSpec(
+        builder=builder, module=module, kwargs=tuple(sorted(kwargs.items()))
+    )
+
+
+def build_stream(spec: StreamSpec, world: "World") -> "TargetStream":
+    """Rebuild the stream a spec describes against a world."""
+    if spec.builder not in _STREAM_BUILDERS:
+        importlib.import_module(spec.module)
+    try:
+        builder = _STREAM_BUILDERS[spec.builder]
+    except KeyError:
+        raise ValueError(
+            f"no stream builder registered as {spec.builder!r}"
+        ) from None
+    return builder(world, **spec.arguments())
+
+
+# --------------------------------------------------------------------- #
+# target streams
+# --------------------------------------------------------------------- #
+
+
+class TargetStream(Sequence):
+    """A named, ordered sequence of probe targets (ints).
+
+    Subclasses provide ``__len__`` and ``__getitem__``; the ``Sequence``
+    mixins supply iteration and membership.  Being a ``Sequence`` means
+    every existing scan entry point accepts a stream wherever it accepts
+    a target list — the refactor's compatibility contract.
+
+    ``buffered`` reports how many target values the stream currently
+    holds in memory (the telemetry ``targets_buffered`` gauge); fully
+    computable streams report 0.  ``spec()`` returns a picklable rebuild
+    recipe when the stream has one, letting sharded scans ship the spec
+    instead of the data.
+    """
+
+    name: str = "targets"
+    subnet_length: int | None = None
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __getitem__(self, index):  # pragma: no cover - signature only
+        ...
+
+    @property
+    def buffered(self) -> int:
+        """Target values currently resident in memory."""
+        return len(self)
+
+    def spec(self) -> StreamSpec | None:
+        """Picklable provenance, or None when the stream is data-only."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, n={len(self)})"
+
+
+class ListStream(TargetStream):
+    """A stream over an already-materialised target list."""
+
+    __slots__ = ("name", "subnet_length", "targets", "_spec")
+
+    def __init__(
+        self,
+        targets: Sequence[int],
+        *,
+        name: str = "targets",
+        subnet_length: int | None = None,
+        spec: StreamSpec | None = None,
+    ) -> None:
+        self.targets = targets
+        self.name = name
+        self.subnet_length = subnet_length
+        self._spec = spec
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    def __getitem__(self, index):
+        return self.targets[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.targets)
+
+    def spec(self) -> StreamSpec | None:
+        return self._spec
+
+
+class LazyStream(TargetStream):
+    """Generator-backed stream: realises its targets on first access.
+
+    Wraps the five input-set generators without changing their output:
+    ``factory()`` is called once, on first length/index access, and the
+    values are buffered so repeated scans see the same targets.
+
+    ``after`` chains streams whose factories share one RNG (the survey's
+    /48, /64 and route6 sets draw from a single ``random.Random``):
+    realising a stream first ensures every predecessor has consumed its
+    draws, so the realisation *order* — and therefore every sampled
+    target — is identical to the eager build, no matter which stream is
+    touched first.
+
+    ``release()`` drops the buffer once a scan is done with it; the
+    survey uses this to scan the five Table 2 sets without ever
+    co-residing them.  A released stream cannot be re-realised (its RNG
+    draws are spent), so further access raises :class:`RuntimeError`.
+    """
+
+    __slots__ = (
+        "name",
+        "subnet_length",
+        "_factory",
+        "_targets",
+        "_consumed",
+        "_released",
+        "_after",
+        "_spec",
+    )
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[int]],
+        *,
+        name: str = "targets",
+        subnet_length: int | None = None,
+        after: "LazyStream | None" = None,
+        spec: StreamSpec | None = None,
+    ) -> None:
+        self.name = name
+        self.subnet_length = subnet_length
+        self._factory = factory
+        self._targets: list[int] | None = None
+        self._consumed = False
+        self._released = False
+        self._after = after
+        self._spec = spec
+
+    # -- realisation machinery -- #
+
+    def _ensure_consumed(self) -> None:
+        """Run the factory (consuming its RNG draws) if it never ran."""
+        if not self._consumed:
+            self._realise()
+
+    def _realise(self) -> list[int]:
+        if self._released:
+            raise RuntimeError(
+                f"stream {self.name!r} was released; its targets are gone"
+            )
+        if self._targets is None:
+            if self._after is not None:
+                self._after._ensure_consumed()
+            self._targets = list(self._factory())
+            self._consumed = True
+        return self._targets
+
+    @property
+    def realised(self) -> bool:
+        return self._targets is not None
+
+    def release(self) -> None:
+        """Drop the realised buffer (constant-memory campaigns call this
+        after scanning).  Safe to call on an unrealised stream."""
+        self._targets = None
+        self._released = True
+
+    # -- sequence protocol -- #
+
+    def __len__(self) -> int:
+        return len(self._realise())
+
+    def __getitem__(self, index):
+        return self._realise()[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._realise())
+
+    @property
+    def buffered(self) -> int:
+        return len(self._targets) if self._targets is not None else 0
+
+    def spec(self) -> StreamSpec | None:
+        return self._spec
+
+
+class SubnetPartitionStream(TargetStream):
+    """The SRA addresses of a prefix's ``/length`` partition, computed.
+
+    ``stream[i]`` is pure arithmetic — O(1) memory at any target count,
+    which is what lets a 10⁶-target scan run with flat RSS.  This is the
+    streaming twin of :meth:`repro.addr.ipv6.IPv6Prefix.subnets`.
+    """
+
+    __slots__ = ("name", "subnet_length", "prefix", "_step", "_count")
+
+    def __init__(
+        self,
+        prefix: IPv6Prefix,
+        subnet_length: int,
+        *,
+        name: str | None = None,
+    ) -> None:
+        if subnet_length < prefix.length or subnet_length > ADDRESS_BITS:
+            raise ValueError(
+                f"cannot partition /{prefix.length} into /{subnet_length}"
+            )
+        self.prefix = prefix
+        self.subnet_length = subnet_length
+        self.name = name or f"{prefix}@{subnet_length}"
+        self._step = 1 << (ADDRESS_BITS - subnet_length)
+        self._count = 1 << (subnet_length - prefix.length)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._count))]
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(index)
+        return self.prefix.network + index * self._step
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(
+            range(
+                self.prefix.network,
+                self.prefix.network + self._count * self._step,
+                self._step,
+            )
+        )
+
+    @property
+    def buffered(self) -> int:
+        return 0
+
+    def spec(self) -> StreamSpec | None:
+        return make_spec(
+            "subnet-partition",
+            __name__,
+            network=self.prefix.network,
+            prefix_length=self.prefix.length,
+            subnet_length=self.subnet_length,
+            name=self.name,
+        )
+
+
+def _build_subnet_partition(world, **kwargs) -> SubnetPartitionStream:
+    return SubnetPartitionStream(
+        IPv6Prefix(kwargs["network"], kwargs["prefix_length"]),
+        kwargs["subnet_length"],
+        name=kwargs.get("name"),
+    )
+
+
+register_stream_builder("subnet-partition", _build_subnet_partition)
+
+
+class PermutedStream(TargetStream):
+    """A lazy view of another stream in zmap's cyclic-permutation order.
+
+    Iteration walks the multiplicative group with O(1) state.  Indexing
+    seeks the permutation (O(1) when the group prime is ``size + 1``,
+    amortised-sequential otherwise — see
+    :meth:`repro.addr.permutation.CyclicPermutation.__getitem__`).
+    """
+
+    __slots__ = ("name", "subnet_length", "source", "permutation")
+
+    def __init__(self, source: TargetStream | Sequence[int], seed: int) -> None:
+        self.source = source
+        size = len(source)
+        if size == 0:
+            raise ValueError("cannot permute an empty stream")
+        self.permutation = CyclicPermutation(size, seed=seed)
+        self.name = f"{getattr(source, 'name', 'targets')}~perm"
+        self.subnet_length = getattr(source, "subnet_length", None)
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def __getitem__(self, index):
+        return self.source[self.permutation[index]]
+
+    def __iter__(self) -> Iterator[int]:
+        source = self.source
+        return (source[index] for index in self.permutation)
+
+    @property
+    def buffered(self) -> int:
+        return stream_buffered(self.source)
+
+
+def as_stream(
+    targets,
+    *,
+    name: str | None = None,
+    subnet_length: int | None = None,
+) -> TargetStream:
+    """Coerce lists, TargetLists, iterables, or streams to a stream."""
+    if isinstance(targets, TargetStream):
+        return targets
+    inferred_name = name or getattr(targets, "name", None) or "targets"
+    inferred_length = (
+        subnet_length
+        if subnet_length is not None
+        else getattr(targets, "subnet_length", None)
+    )
+    if not isinstance(targets, Sequence):
+        targets = list(targets)
+    return ListStream(
+        targets, name=inferred_name, subnet_length=inferred_length
+    )
+
+
+def stream_buffered(targets) -> int:
+    """How many target values ``targets`` holds in memory right now."""
+    if isinstance(targets, TargetStream):
+        return targets.buffered
+    try:
+        return len(targets)
+    except TypeError:
+        return 0
+
+
+# --------------------------------------------------------------------- #
+# record sinks
+# --------------------------------------------------------------------- #
+
+
+class RecordSink:
+    """Where matched reply records go, in probe order.
+
+    ``emit`` is the hot-path call; ``close`` flushes and releases any
+    underlying file handle.  Sinks count what they emit so callers can
+    report totals without buffering records.  Sinks are context
+    managers: ``with JsonlSink(path) as sink: scanner.scan(..., sink=sink)``.
+    """
+
+    emitted: int = 0
+
+    def emit(self, record: ScanRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+    def __enter__(self) -> "RecordSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class MemorySink(RecordSink):
+    """Buffer records in a list — today's ``ScanResult`` behaviour."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: list[ScanRecord] | None = None) -> None:
+        self.records: list[ScanRecord] = records if records is not None else []
+
+    @property
+    def emitted(self) -> int:
+        return len(self.records)
+
+    def emit(self, record: ScanRecord) -> None:
+        self.records.append(record)
+
+
+class JsonlSink(RecordSink):
+    """Stream records to a JSONL file as they are matched.
+
+    The bytes written are identical to ``ScanResult.write_jsonl`` on the
+    buffered records — the streaming mode changes memory use, never
+    output (pinned by the determinism tests).
+    """
+
+    __slots__ = ("emitted", "_handle", "_owns")
+
+    def __init__(self, destination) -> None:
+        self.emitted = 0
+        if isinstance(destination, (str, Path)):
+            self._handle = open(destination, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._handle = destination
+            self._owns = False
+
+    def emit(self, record: ScanRecord) -> None:
+        self._handle.write(record_jsonl_line(record))
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+
+
+class CsvSink(RecordSink):
+    """Stream records to CSV, byte-identical to ``ScanResult.write_csv``."""
+
+    __slots__ = ("emitted", "_handle", "_writer", "_owns")
+
+    HEADER = ("target", "source", "icmp_type", "code", "count", "time")
+
+    def __init__(self, destination) -> None:
+        import csv
+
+        self.emitted = 0
+        if isinstance(destination, (str, Path)):
+            self._handle = open(destination, "w", encoding="utf-8", newline="")
+            self._owns = True
+        else:
+            self._handle = destination
+            self._owns = False
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(self.HEADER)
+
+    def emit(self, record: ScanRecord) -> None:
+        self._writer.writerow(record_csv_row(record))
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+
+
+class CountingSink(RecordSink):
+    """Keep scan aggregates without storing a single record.
+
+    Tracks the counters Table 2 needs — records, echo/error split, flood
+    packets, distinct responsive targets and reply sources — in O(sources)
+    memory (sets of distinct addresses, never records).
+    """
+
+    __slots__ = (
+        "emitted",
+        "echo",
+        "errors",
+        "flood_packets",
+        "responsive_targets",
+        "sources",
+        "echo_sources",
+        "error_sources",
+    )
+
+    def __init__(self) -> None:
+        self.emitted = 0
+        self.echo = 0
+        self.errors = 0
+        self.flood_packets = 0
+        self.responsive_targets: set[int] = set()
+        self.sources: set[int] = set()
+        self.echo_sources: set[int] = set()
+        self.error_sources: set[int] = set()
+
+    def emit(self, record: ScanRecord) -> None:
+        self.emitted += 1
+        self.flood_packets += record.count - 1
+        self.responsive_targets.add(record.target)
+        self.sources.add(record.source)
+        if record.icmp_type < 128:
+            self.errors += 1
+            self.error_sources.add(record.source)
+        else:
+            self.echo += 1
+            self.echo_sources.add(record.source)
+
+    def classify_sources(self) -> dict[str, set[int]]:
+        """Echo-only / error-only / both partition (Fig. 4), like
+        :meth:`ScanResult.classify_sources`."""
+        return {
+            "echo": self.echo_sources - self.error_sources,
+            "error": self.error_sources - self.echo_sources,
+            "both": self.echo_sources & self.error_sources,
+        }
+
+
+@dataclass(slots=True)
+class TeeSink(RecordSink):
+    """Fan one record stream out to several sinks."""
+
+    sinks: tuple[RecordSink, ...] = field(default_factory=tuple)
+    emitted: int = 0
+
+    def emit(self, record: ScanRecord) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+        self.emitted += 1
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+__all__.append("TeeSink")

@@ -45,9 +45,18 @@ class TargetList:
         return self.targets[index]
 
     def sample(self, k: int, rng: random.Random) -> "TargetList":
-        """A uniform sub-sample (used to bound benchmark runtimes)."""
+        """A uniform sub-sample (used to bound benchmark runtimes).
+
+        Always returns a fresh list, even when ``k`` covers every target:
+        returning ``self`` there let callers that mutate the sample
+        corrupt the original.
+        """
         if k >= len(self.targets):
-            return self
+            return TargetList(
+                name=self.name,
+                targets=list(self.targets),
+                subnet_length=self.subnet_length,
+            )
         return TargetList(
             name=self.name,
             targets=rng.sample(self.targets, k),
@@ -73,21 +82,26 @@ class TargetList:
         name: str | None = None,
         subnet_length: int | None = None,
     ) -> "TargetList":
-        """Read one address per line; blanks and ``#`` comments ignored."""
-        targets: list[int] = []
-        seen: set[int] = set()
-        with open(path, "r", encoding="utf-8") as handle:
+        """Read one address per line; blanks and ``#`` comments ignored.
+
+        A malformed line raises :class:`AddressError` carrying the file
+        path, line number, *and* the offending line text.
+        """
+
+        def parsed(handle) -> Iterable[int]:
             for line_number, line in enumerate(handle, start=1):
                 text = line.strip()
                 if not text or text.startswith("#"):
                     continue
                 try:
-                    value = parse_address(text)
+                    yield parse_address(text)
                 except AddressError as exc:
-                    raise AddressError(f"{path}:{line_number}: {exc}") from exc
-                if value not in seen:
-                    seen.add(value)
-                    targets.append(value)
+                    raise AddressError(
+                        f"{path}:{line_number}: {text!r}: {exc}"
+                    ) from exc
+
+        with open(path, "r", encoding="utf-8") as handle:
+            targets = _bounded(parsed(handle), None)
         return cls(
             name=name or Path(path).stem,
             targets=targets,
@@ -96,12 +110,23 @@ class TargetList:
 
 
 def _bounded(targets: Iterable[int], max_targets: int | None) -> list[int]:
-    if max_targets is None:
-        return list(targets)
+    """Order-preserving dedup with an optional size bound.
+
+    The one place the "first occurrence wins, stop at the budget" rule
+    lives — shared by the five input-set builders and
+    :meth:`TargetList.load`, which previously each carried their own
+    copy.  Enforces the class contract that a :class:`TargetList` is
+    deduplicated (the partition generators already emit unique targets,
+    so for them this is belt and braces).
+    """
     bounded: list[int] = []
+    seen: set[int] = set()
     for target in targets:
+        if target in seen:
+            continue
+        seen.add(target)
         bounded.append(target)
-        if len(bounded) >= max_targets:
+        if max_targets is not None and len(bounded) >= max_targets:
             break
     return bounded
 

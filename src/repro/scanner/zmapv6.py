@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from itertools import islice
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
-from ..addr.permutation import CyclicPermutation
 from ..netsim.engine import ProbeResult, SimulationEngine
 from ..packet.icmpv6 import (
     ICMPv6Message,
@@ -40,8 +39,10 @@ from ..telemetry.scan import (
     ShardTelemetry,
     collector_events,
     populate_registry,
+    record_metrics,
 )
 from .records import ScanRecord, ScanResult
+from .stream import IndexWindow, RecordSink, shard_positions, stream_buffered
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,6 +113,7 @@ class ZMapV6Scanner:
         self.capture_telemetry = capture_telemetry or telemetry is not None
         self.last_capture: ShardTelemetry | None = None
         self._capture: ShardTelemetry | None = None
+        self._emit: Callable[[ScanRecord], None] | None = None
 
     def scan(
         self,
@@ -119,12 +121,30 @@ class ZMapV6Scanner:
         *,
         name: str = "scan",
         epoch: int | None = None,
+        sink: RecordSink | None = None,
     ) -> ScanResult:
-        """Probe every target once; returns the matched reply records."""
+        """Probe every target once; returns the matched reply records.
+
+        ``targets`` may be any sequence — a list, a
+        :class:`~repro.scanner.targets.TargetList`, or a lazy
+        :class:`~repro.scanner.stream.TargetStream`; non-sequence
+        iterables are materialised.  With a ``sink``, matched records
+        stream to it in probe order instead of buffering in
+        ``result.records`` (``result.records_streamed`` counts them);
+        everything else — counters, telemetry events, metrics — is
+        byte-identical to the buffered path.
+        """
         config = self.config
         if epoch is not None:
             self.engine.new_epoch(epoch)
-        target_list = targets if isinstance(targets, Sequence) else list(targets)
+        # Duck-typed: anything indexable with a length scans in place
+        # (materialising here would defeat O(1)-memory target streams).
+        if isinstance(targets, Sequence) or (
+            hasattr(targets, "__getitem__") and hasattr(targets, "__len__")
+        ):
+            target_list = targets
+        else:
+            target_list = list(targets)
         result = ScanResult(name=name, epoch=self.engine.epoch)
         capture: ShardTelemetry | None = None
         collector: HotPathCollector | None = None
@@ -140,6 +160,7 @@ class ZMapV6Scanner:
                     pps=config.pps,
                 )
         self._capture = capture
+        self._emit = self._record_emitter(result, sink, capture)
         if collector is not None:
             self.engine.telemetry = collector
         try:
@@ -151,13 +172,20 @@ class ZMapV6Scanner:
             if collector is not None:
                 self.engine.telemetry = None
             self._capture = None
+            self._emit = None
         result.sent = sent
         result.duration = (last_position + 1) / config.pps if sent else 0.0
         result.engine_stats = replace(self.engine.stats)
         if capture is not None and collector is not None:
             capture.first_loop = dict(collector.first_loop)
             capture.first_suppressed = dict(collector.first_suppressed)
-            populate_registry(capture.registry, result)
+            # A streaming sink already observed its records incrementally;
+            # fold in the engine-stat counters only (records=()).
+            populate_registry(
+                capture.registry,
+                result,
+                records=() if sink is not None else None,
+            )
             self.last_capture = capture
             if self.telemetry is not None:
                 body = list(capture.events)
@@ -172,9 +200,43 @@ class ZMapV6Scanner:
                 self.telemetry.emit_sorted(body)
                 self.telemetry.merge_registry(capture.registry)
                 self.telemetry.scan_finished(
-                    scan=name, epoch=result.epoch, result=result
+                    scan=name,
+                    epoch=result.epoch,
+                    result=result,
+                    targets_buffered=stream_buffered(target_list),
                 )
         return result
+
+    def _record_emitter(
+        self,
+        result: ScanResult,
+        sink: RecordSink | None,
+        capture: ShardTelemetry | None,
+    ) -> Callable[[ScanRecord], None]:
+        """The per-record hot-path call: buffer, or stream-and-observe.
+
+        Without a sink this is literally ``result.records.append`` — the
+        buffered path pays nothing for the streaming machinery.  With a
+        sink, each record is forwarded and (when telemetry is on) the
+        record-derived metrics are observed incrementally, producing the
+        exact registry :func:`populate_registry` would build at scan end.
+        """
+        if sink is None:
+            return result.records.append
+        sink_emit = sink.emit
+        metrics = record_metrics(capture.registry) if capture is not None else None
+
+        def emit(record: ScanRecord) -> None:
+            sink_emit(record)
+            result.records_streamed += 1
+            if metrics is not None:
+                record_counter, flood, vtimes, amplification = metrics
+                record_counter.inc()
+                flood.inc(record.count - 1)
+                vtimes.observe(record.time)
+                amplification.observe(record.count)
+
+        return emit
 
     def _scan_single(
         self, target_list: Sequence[int], result: ScanResult
@@ -182,6 +244,7 @@ class ZMapV6Scanner:
         """Per-probe scan loop: wire-format mode and ``batch_size=1``."""
         config = self.config
         capture = self._capture
+        emit = self._emit
         every = config.progress_every if capture is not None else 0
         sent = 0
         last_position = -1
@@ -203,7 +266,7 @@ class ZMapV6Scanner:
                 result.lost += 1
             else:
                 for reply in outcome.replies:
-                    result.records.append(
+                    emit(
                         ScanRecord(
                             target=target,
                             source=reply.source,
@@ -222,7 +285,7 @@ class ZMapV6Scanner:
                         vtime=time,
                         shard=config.shard,
                         sent=sent,
-                        records=len(result.records),
+                        records=result.received,
                         lost=result.lost,
                         loops=result.loops_observed,
                     )
@@ -243,8 +306,7 @@ class ZMapV6Scanner:
         hop_limit = config.hop_limit
         epoch_bits = self.engine.epoch << 32
         probe_batch = self.engine.probe_batch
-        records = result.records
-        append_record = records.append
+        append_record = self._emit
         capture = self._capture
         every = config.progress_every if capture is not None else 0
         progress = (0, 0, 0, 0)
@@ -344,25 +406,18 @@ class ZMapV6Scanner:
     def _probe_positions(self, size: int) -> Iterator[tuple[int, int]]:
         """Yield ``(global_position, target_index)`` for this shard.
 
-        The global position is the probe's slot in the full (serial)
-        visit order; a shard takes every ``shards``-th slot starting at
-        ``shard``, so per-shard streams are pairwise disjoint and their
-        union is exactly the serial order.
+        Delegates to :func:`repro.scanner.stream.shard_positions`, the
+        shared definition of the permuted visit order and its shard
+        windows (pairwise disjoint; position-ordered union == serial).
         """
         config = self.config
-        if size == 0:
-            return
-        if not config.permute:
-            for index in range(config.shard, size, config.shards):
-                yield index, index
-            return
-        permutation = CyclicPermutation(size, seed=config.seed ^ self.engine.epoch)
-        if config.shards == 1:
-            yield from enumerate(permutation)
-            return
-        for position, index in enumerate(permutation):
-            if position % config.shards == config.shard:
-                yield position, index
+        return shard_positions(
+            size,
+            seed=config.seed,
+            epoch=self.engine.epoch,
+            window=IndexWindow(config.shard, config.shards),
+            permute=config.permute,
+        )
 
     def _send_probe(self, target: int, time: float, probe_id: int) -> ProbeResult:
         config = self.config

@@ -43,7 +43,9 @@ if TYPE_CHECKING:  # telemetry stays import-light; scans are duck-typed
 __all__ = [
     "AMPLIFICATION_EDGES",
     "ENGINE_STAT_COUNTERS",
+    "RECORDS_BUFFERED_GAUGE",
     "REPLY_VTIME_EDGES",
+    "TARGETS_BUFFERED_GAUGE",
     "HotPathCollector",
     "ScanTelemetry",
     "ShardTelemetry",
@@ -51,6 +53,7 @@ __all__ = [
     "collector_events",
     "merge_first_times",
     "populate_registry",
+    "record_metrics",
     "retract_record",
 ]
 
@@ -91,6 +94,13 @@ REPLY_VTIME_HISTOGRAM = "sra_scan_reply_vtime_seconds"
 AMPLIFICATION_HISTOGRAM = "sra_scan_reply_amplification"
 SCANS_TOTAL = "sra_scans_total"
 LAST_DURATION_GAUGE = "sra_scan_last_duration_seconds"
+# Streaming-pipeline memory gauges: how many targets / records the last
+# scan held in memory.  A constant-memory scan (computable TargetStream +
+# streaming RecordSink) reports 0/0; the materialised path reports its
+# full counts — the gauges are the observable difference between the two
+# modes, everything else is byte-identical.
+TARGETS_BUFFERED_GAUGE = "sra_scan_targets_buffered"
+RECORDS_BUFFERED_GAUGE = "sra_scan_records_buffered"
 
 
 class HotPathCollector:
@@ -177,25 +187,16 @@ class ShardTelemetry:
     first_suppressed: dict[int, float] = field(default_factory=dict)
 
 
-def populate_registry(
-    registry: MetricsRegistry,
-    result: "ScanResult",
-    stats: "EngineStats | None" = None,
-) -> MetricsRegistry:
-    """Fold one scan's counters and record-derived metrics into a registry.
+def record_metrics(registry: MetricsRegistry):
+    """Create-or-get the four record-derived metrics of a registry.
 
-    ``stats`` defaults to ``result.engine_stats``.  Counters *add*, so one
-    registry can accumulate a whole campaign; the same function populates
-    per-shard registries (pre-merge) and serial-scan registries, which is
-    what makes the sharded merge provably equivalent to the serial path.
+    Returns ``(records, flood, vtimes, amplification)``.  The streaming
+    scan path observes these incrementally per emitted record; the
+    buffered path folds them in at scan end via
+    :func:`populate_registry`.  Counter sums and fixed-edge histograms
+    are order-independent (histogram sums use exact Fractions), so both
+    paths produce byte-identical exports.
     """
-    if stats is None:
-        stats = result.engine_stats
-    if stats is not None:
-        for field_name, (metric_name, help_text) in ENGINE_STAT_COUNTERS.items():
-            registry.counter(metric_name, help_text).inc(
-                getattr(stats, field_name)
-            )
     records = registry.counter(RECORDS_TOTAL, "matched reply records")
     flood = registry.counter(
         FLOOD_PACKETS_TOTAL, "unsolicited duplicates from loop amplification"
@@ -210,12 +211,46 @@ def populate_registry(
         AMPLIFICATION_EDGES,
         "reply replication count per matched record",
     )
-    records.inc(len(result.records))
+    return records, flood, vtimes, amplification
+
+
+def populate_registry(
+    registry: MetricsRegistry,
+    result: "ScanResult",
+    stats: "EngineStats | None" = None,
+    *,
+    records: "Iterable | None" = None,
+) -> MetricsRegistry:
+    """Fold one scan's counters and record-derived metrics into a registry.
+
+    ``stats`` defaults to ``result.engine_stats``.  Counters *add*, so one
+    registry can accumulate a whole campaign; the same function populates
+    per-shard registries (pre-merge) and serial-scan registries, which is
+    what makes the sharded merge provably equivalent to the serial path.
+
+    ``records`` overrides the record iterable (default
+    ``result.records``); a scan that already observed its records
+    incrementally through a streaming sink passes ``records=()`` so only
+    the engine-stat counters are folded in here.
+    """
+    if stats is None:
+        stats = result.engine_stats
+    if stats is not None:
+        for field_name, (metric_name, help_text) in ENGINE_STAT_COUNTERS.items():
+            registry.counter(metric_name, help_text).inc(
+                getattr(stats, field_name)
+            )
+    record_counter, flood, vtimes, amplification = record_metrics(registry)
+    if records is None:
+        records = result.records
+    count = 0
     flood_total = 0
-    for record in result.records:
+    for record in records:
+        count += 1
         vtimes.observe(record.time)
         amplification.observe(record.count)
         flood_total += record.count - 1
+    record_counter.inc(count)
     flood.inc(flood_total)
     return registry
 
@@ -333,9 +368,23 @@ class ScanTelemetry:
             )
         )
 
-    def scan_finished(self, *, scan: str, epoch: int, result: "ScanResult") -> None:
+    def scan_finished(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        result: "ScanResult",
+        targets_buffered: int = 0,
+    ) -> None:
         """Emit the closing event and roll the scan into the summary
-        gauges/counters (``sra_scans_total``, last-duration gauge)."""
+        gauges/counters (``sra_scans_total``, last-duration gauge, and
+        the streaming-pipeline memory gauges).
+
+        ``targets_buffered`` is how many target values the scan's input
+        stream held in memory (``TargetStream.buffered``; a plain list
+        counts in full).  Records buffered is read off the result — a
+        streaming-sink scan leaves ``result.records`` empty.
+        """
         stats = result.engine_stats
         stats_fields = {}
         if stats is not None:
@@ -349,7 +398,7 @@ class ScanTelemetry:
                 epoch=epoch,
                 vtime=result.duration,
                 sent=result.sent,
-                records=len(result.records),
+                records=result.received,
                 lost=result.lost,
                 loops=result.loops_observed,
                 duration=result.duration,
@@ -360,6 +409,14 @@ class ScanTelemetry:
         self.registry.gauge(
             LAST_DURATION_GAUGE, "virtual duration of the last scan"
         ).set(result.duration)
+        self.registry.gauge(
+            TARGETS_BUFFERED_GAUGE,
+            "target values the last scan held in memory",
+        ).set(targets_buffered)
+        self.registry.gauge(
+            RECORDS_BUFFERED_GAUGE,
+            "reply records the last scan held in memory",
+        ).set(len(result.records))
 
     # ------------------------------------------------------------------ #
     # registry plumbing

@@ -45,7 +45,7 @@ from .entities import (
     VantagePoint,
     World,
 )
-from .profiles import SRABehavior, VendorProfile, vendor_by_name
+from .profiles import VendorProfile, vendor_by_name
 
 _INFRA_SLASH48_INDEX = 0xFFFF
 _ALIAS_INDEX_RANGE = (0x4000, 0x7FFF)
@@ -499,7 +499,6 @@ class WorldBuilder:
     def _attach_routers(
         self, info: ASInfo, networks: list[int], single_router_as: bool
     ) -> None:
-        config = self.config
         remaining = list(networks)
         self.rng.shuffle(remaining)
         border = (
@@ -719,8 +718,8 @@ class WorldBuilder:
                 length = 48
             else:
                 weights = [
-                    w * (bias if l <= 40 else 1.0)
-                    for l, w in zip(
+                    w * (bias if length <= 40 else 1.0)
+                    for length, w in zip(
                         config.loop_region_length_choices,
                         config.loop_region_length_weights,
                     )

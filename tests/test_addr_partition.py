@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.addr.ipv6 import IPv6Prefix, parse_address
 from repro.addr.partition import (

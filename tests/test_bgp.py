@@ -423,5 +423,9 @@ class TestDump:
             ],
             buffer,
         )
-        lines = [l for l in buffer.getvalue().splitlines() if not l.startswith("#")]
+        lines = [
+            line
+            for line in buffer.getvalue().splitlines()
+            if not line.startswith("#")
+        ]
         assert lines == ["2001:db8::/32 1", "2001:db9::/48 2"]

@@ -20,7 +20,7 @@ from repro.netsim.pcap import (
     read_pcap,
 )
 from repro.packet.icmpv6 import ICMPv6Type
-from repro.packet.ipv6hdr import HEADER_LENGTH, IPv6Header
+from repro.packet.ipv6hdr import IPv6Header
 from repro.scanner.records import ScanRecord, ScanResult
 from repro.topology.export import export_artifacts, load_artifacts
 from repro.topology.profiles import SRABehavior

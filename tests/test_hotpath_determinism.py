@@ -9,7 +9,7 @@ batched path, and 1/4/8-way sharded execution.
 """
 
 import random
-from dataclasses import asdict, replace
+from dataclasses import asdict
 
 import pytest
 
@@ -17,6 +17,13 @@ from repro.core.probing import run_sra_vs_random
 from repro.core.survey import INPUT_SET_NAMES, SRASurvey, SurveyConfig
 from repro.netsim.engine import SimulationEngine
 from repro.scanner.sharded import ShardedScanRunner
+from repro.scanner.stream import (
+    CsvSink,
+    JsonlSink,
+    LazyStream,
+    MemorySink,
+    TeeSink,
+)
 from repro.scanner.targets import bgp_slash48_targets
 from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
 from repro.telemetry import ScanTelemetry
@@ -313,3 +320,179 @@ class TestTelemetryDeterminism:
         observed = run(ScanTelemetry())
         bare = run(None)
         assert scan_snapshot(observed) == scan_snapshot(bare)
+
+
+class TestStreamVsListEquivalence:
+    """The streaming pipeline is pure plumbing: target streams and record
+    sinks change memory behaviour, never bytes.
+
+    Pinned across batch sizes 1/1024 and 1/4/8 shards: identical
+    ``ScanResult`` snapshots, identical sink record sequences, identical
+    JSONL/CSV output files, and byte-identical telemetry exports (the
+    ``records_buffered`` gauge is the one *documented* difference between
+    buffered and sink mode, and is asserted exactly).
+    """
+
+    CFG = dict(pps=200_000.0, seed=5, progress_every=500)
+    EPOCH = 2
+
+    def _scan(
+        self, world, targets, *, batch_size=1024, sink=None, telemetry=None
+    ):
+        engine = SimulationEngine(world, epoch=self.EPOCH)
+        scanner = ZMapV6Scanner(
+            engine,
+            ScanConfig(batch_size=batch_size, **self.CFG),
+            telemetry=telemetry,
+        )
+        return scanner.scan(
+            targets, name="scan", epoch=self.EPOCH, sink=sink
+        )
+
+    def _stream(self, stress_targets):
+        return LazyStream(lambda: list(stress_targets), name="stress")
+
+    @pytest.mark.parametrize("batch_size", [1, 1024])
+    def test_stream_targets_match_list(
+        self, tiny_world, stress_targets, batch_size
+    ):
+        expected = self._scan(
+            tiny_world, list(stress_targets), batch_size=batch_size
+        )
+        got = self._scan(
+            tiny_world, self._stream(stress_targets), batch_size=batch_size
+        )
+        assert scan_snapshot(got) == scan_snapshot(expected)
+
+    @pytest.mark.parametrize("batch_size", [1, 1024])
+    def test_memory_sink_records_identical(
+        self, tiny_world, stress_targets, batch_size
+    ):
+        buffered = self._scan(
+            tiny_world, stress_targets, batch_size=batch_size
+        )
+        sink = MemorySink()
+        streamed = self._scan(
+            tiny_world, stress_targets, batch_size=batch_size, sink=sink
+        )
+        assert sink.records == buffered.records
+        assert streamed.records == []
+        assert streamed.records_streamed == len(buffered.records)
+        assert streamed.received == buffered.received
+        assert streamed.sent == buffered.sent
+        assert streamed.engine_stats == buffered.engine_stats
+
+    def test_file_sinks_byte_identical_to_writers(
+        self, tiny_world, stress_targets, tmp_path
+    ):
+        buffered = self._scan(tiny_world, stress_targets)
+        buffered.write_jsonl(tmp_path / "buffered.jsonl")
+        buffered.write_csv(tmp_path / "buffered.csv")
+        sink = TeeSink(
+            (JsonlSink(tmp_path / "stream.jsonl"), CsvSink(tmp_path / "stream.csv"))
+        )
+        with sink:
+            self._scan(tiny_world, stress_targets, sink=sink)
+        assert (tmp_path / "stream.jsonl").read_bytes() == (
+            tmp_path / "buffered.jsonl"
+        ).read_bytes()
+        assert (tmp_path / "stream.csv").read_bytes() == (
+            tmp_path / "buffered.csv"
+        ).read_bytes()
+
+    @pytest.mark.parametrize("shards", [1, 4, 8])
+    def test_sharded_sink_drains_serial_order(
+        self, tiny_world, stress_targets, shards
+    ):
+        serial = self._scan(tiny_world, list(stress_targets))
+        sink = MemorySink()
+        runner = ShardedScanRunner(
+            tiny_world, shards=shards, executor="thread"
+        )
+        result = runner.scan(
+            self._stream(stress_targets),
+            ScanConfig(**self.CFG),
+            name="scan",
+            epoch=self.EPOCH,
+            sink=sink,
+        )
+        assert sink.records == serial.records
+        assert result.records == []
+        assert result.records_streamed == len(serial.records)
+
+    def test_telemetry_byte_identical_stream_vs_list(
+        self, tiny_world, stress_targets
+    ):
+        with_list = ScanTelemetry()
+        self._scan(tiny_world, list(stress_targets), telemetry=with_list)
+        with_stream = ScanTelemetry()
+        self._scan(
+            tiny_world, self._stream(stress_targets), telemetry=with_stream
+        )
+        assert with_stream.to_jsonl() == with_list.to_jsonl()
+        assert with_stream.to_prometheus() == with_list.to_prometheus()
+
+    @pytest.mark.parametrize("shards", [4, 8])
+    def test_sharded_stream_telemetry_matches_sharded_list(
+        self, tiny_world, stress_targets, shards
+    ):
+        def run(targets):
+            telemetry = ScanTelemetry()
+            runner = ShardedScanRunner(
+                tiny_world, shards=shards, executor="thread",
+                telemetry=telemetry,
+            )
+            runner.scan(
+                targets, ScanConfig(**self.CFG), name="scan", epoch=self.EPOCH
+            )
+            return telemetry
+
+        with_list = run(list(stress_targets))
+        with_stream = run(self._stream(stress_targets))
+        assert with_stream.to_jsonl() == with_list.to_jsonl()
+        assert with_stream.to_prometheus() == with_list.to_prometheus()
+
+    def test_sink_telemetry_differs_only_in_buffered_gauge(
+        self, tiny_world, stress_targets
+    ):
+        """Streaming's one observable telemetry delta, pinned exactly."""
+        buffered = ScanTelemetry()
+        self._scan(tiny_world, stress_targets, telemetry=buffered)
+        streaming = ScanTelemetry()
+        self._scan(
+            tiny_world, stress_targets, telemetry=streaming, sink=MemorySink()
+        )
+
+        def without_gauge(text):
+            return [
+                line
+                for line in text.splitlines()
+                if "sra_scan_records_buffered" not in line
+            ]
+
+        assert without_gauge(streaming.to_prometheus()) == without_gauge(
+            buffered.to_prometheus()
+        )
+        assert streaming.to_prometheus() != buffered.to_prometheus()
+        assert streaming.to_jsonl() == buffered.to_jsonl()
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_sink_mode_exports_shard_invariant(
+        self, tiny_world, stress_targets, shards
+    ):
+        """With a sink, even the gauges agree across shard counts (the
+        sharded merge drains before closing telemetry)."""
+        serial = ScanTelemetry()
+        self._scan(tiny_world, stress_targets, telemetry=serial, sink=MemorySink())
+        sharded = ScanTelemetry()
+        runner = ShardedScanRunner(
+            tiny_world, shards=shards, executor="thread", telemetry=sharded
+        )
+        runner.scan(
+            stress_targets,
+            ScanConfig(**self.CFG),
+            name="scan",
+            epoch=self.EPOCH,
+            sink=MemorySink(),
+        )
+        assert sharded.to_prometheus() == serial.to_prometheus()

@@ -8,11 +8,10 @@ import pytest
 
 from repro.core.aliasfilter import is_self_reply
 from repro.core.survey import SRASurvey, SurveyConfig
-from repro.datasets.tum import harvest_hitlist, published_alias_list
+from repro.datasets.tum import published_alias_list
 from repro.metadata.asn import ASNMapper
 from repro.metadata.geoip import GeoIPDatabase
 from repro.netsim.engine import SimulationEngine
-from repro.scanner.records import ScanRecord
 from repro.scanner.targets import hitlist_slash64_targets
 from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
 from repro.topology.config import tiny_config

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.addr.ipv6 import IPv6Prefix, parse_address
 from repro.analysis.comparison import SourceComparison
 from repro.analysis.geodist import (
     continent_distribution,
@@ -256,7 +255,6 @@ class TestGeoDist:
         assert sum(counts.values()) == 1
 
     def test_type_distribution_and_isp_share(self, tiny_world):
-        geo = GeoIPDatabase.from_world(tiny_world)
         mapper = ASNMapper(tiny_world.bgp)
         types = ASTypeDatabase.from_world(tiny_world)
         addresses = [s.router_interface for s in tiny_world.subnets.values()]

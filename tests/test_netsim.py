@@ -7,7 +7,6 @@ from repro.netsim.ratelimit import TokenBucket
 from repro.netsim.stochastic import stable_bool, stable_unit
 from repro.packet.icmpv6 import ICMPv6Type, UnreachableCode
 from repro.topology.config import tiny_config
-from repro.topology.entities import EntryKind
 from repro.topology.generator import build_world
 from repro.topology.profiles import SRABehavior
 

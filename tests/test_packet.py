@@ -4,7 +4,6 @@ import pytest
 
 from repro.addr.ipv6 import parse_address
 from repro.packet.icmpv6 import (
-    ICMPV6_HEADER_LENGTH,
     MAX_ERROR_QUOTE,
     ICMPv6Message,
     ICMPv6Type,

@@ -119,7 +119,7 @@ class TestLPMProperties:
     @settings(max_examples=50, deadline=None)
     def test_insert_remove_returns_to_empty(self, pairs):
         lpm = LengthIndexedLPM()
-        prefixes = {make_prefix(a, l) for a, l in pairs}
+        prefixes = {make_prefix(a, length) for a, length in pairs}
         for prefix in prefixes:
             lpm.insert(prefix, 1)
         assert len(lpm) == len(prefixes)
@@ -175,7 +175,7 @@ class TestStage2Properties:
     )
     @settings(max_examples=30, deadline=None)
     def test_stage2_targets_are_distinct_slash48_networks(self, pairs, budget):
-        announcements = [make_prefix(a, l) for a, l in pairs]
+        announcements = [make_prefix(a, length) for a, length in pairs]
         rng = random.Random(0)
         targets = list(
             stage2_targets(announcements, max_per_prefix=budget, rng=rng)

@@ -6,7 +6,6 @@ import random
 
 import pytest
 
-from repro.addr.ipv6 import parse_address
 from repro.packet.icmpv6 import ICMPv6Type
 from repro.scanner.records import (
     ScanRecord,
@@ -178,7 +177,17 @@ class TestTargetLists:
         sample = targets.sample(7, random.Random(1))
         assert len(sample) == 7
         assert set(sample.targets) <= set(targets.targets)
-        assert targets.sample(10**9, random.Random(1)) is targets
+
+    def test_sample_covering_everything_returns_a_copy(self, tiny_hitlist):
+        # Regression: sample(k >= len) used to return `self`, so mutating
+        # the "sample" corrupted the original target list.
+        targets = hitlist_slash64_targets(tiny_hitlist)
+        original = list(targets.targets)
+        sample = targets.sample(10**9, random.Random(1))
+        assert sample is not targets
+        assert sample.targets == original
+        sample.targets.append(0)
+        assert targets.targets == original
 
 
 class TestScanConfig:
@@ -283,5 +292,7 @@ class TestTargetListIO:
 
         path = tmp_path / "bad.txt"
         path.write_text("2001:db8::\nnot-an-address\n")
-        with pytest.raises(AddressError, match="2"):
+        # The error must carry the file, the line number, and the
+        # offending line text itself.
+        with pytest.raises(AddressError, match=r"bad\.txt:2: 'not-an-address'"):
             TargetList.load(path)

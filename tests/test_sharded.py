@@ -279,6 +279,26 @@ class TestDeterminism:
             targets, ScanConfig(pps=50_000.0, seed=5), name="scan", epoch=1
         )
         assert merged.records == serial.records
+
+    def test_process_pool_ships_stream_spec(self, tiny_world):
+        """A spec-carrying stream crosses the pool as its recipe: workers
+        rebuild the targets from the world and the results still match a
+        serial scan of the materialised list."""
+        from repro.scanner.cli import build_targets
+
+        stream = build_targets(
+            tiny_world, "bgp-48", max_targets=400, seed=21
+        )
+        assert stream.spec() is not None
+        serial = serial_scan(
+            tiny_world, list(stream), epoch=1, pps=50_000.0
+        )
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="process")
+        merged = runner.scan(
+            stream, ScanConfig(pps=50_000.0, seed=5), name="scan", epoch=1
+        )
+        assert merged.records == serial.records
+        assert merged.sent == serial.sent
         assert merged.engine_stats == serial.engine_stats
 
     def test_single_shard_short_circuits(self, tiny_world, stress_targets):

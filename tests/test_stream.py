@@ -1,0 +1,358 @@
+"""Streaming pipeline tests: target streams, specs, windows, and sinks.
+
+The load-bearing invariants:
+
+* concatenating any shard-window split of the permuted visit order
+  reproduces the serial order exactly (hypothesis property — this is
+  what makes sharded streaming bit-identical to serial scans),
+* ``CyclicPermutation`` indexing agrees with its iteration order,
+* lazy streams realise shared-RNG predecessors in build order, and
+  specs rebuild byte-identical streams in a fresh context,
+* save → load → stream round-trips through RFC 5952 formatting,
+* sinks see exactly the records a buffered scan would keep.
+"""
+
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import IPv6Prefix, format_address, parse_address
+from repro.addr.permutation import CyclicPermutation
+from repro.core.survey import SRASurvey, SurveyConfig
+from repro.scanner.records import ScanRecord, ScanResult
+from repro.scanner.stream import (
+    CountingSink,
+    IndexWindow,
+    JsonlSink,
+    LazyStream,
+    ListStream,
+    MemorySink,
+    PermutedStream,
+    StreamSpec,
+    SubnetPartitionStream,
+    TeeSink,
+    as_stream,
+    build_stream,
+    make_spec,
+    shard_positions,
+    stream_buffered,
+)
+from repro.scanner.targets import TargetList, hitlist_slash64_targets
+
+sizes = st.integers(min_value=1, max_value=300)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+class TestShardWindows:
+    @given(sizes, seeds, shard_counts, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_windows_concatenate_to_serial_order(
+        self, size, seed, shards, permute
+    ):
+        """Any shard-window split, merged by global position, IS the
+        serial visit order — no index lost, duplicated, or reordered."""
+        serial = list(
+            shard_positions(size, seed=seed, epoch=0, permute=permute)
+        )
+        split = []
+        for shard in range(shards):
+            split.extend(
+                shard_positions(
+                    size,
+                    seed=seed,
+                    epoch=0,
+                    window=IndexWindow(shard, shards),
+                    permute=permute,
+                )
+            )
+        split.sort(key=lambda pair: pair[0])
+        assert split == serial
+        assert sorted(index for _, index in split) == list(range(size))
+
+    @given(sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_epoch_changes_order_not_membership(self, size, seed):
+        first = [i for _, i in shard_positions(size, seed=seed, epoch=0)]
+        second = [i for _, i in shard_positions(size, seed=seed, epoch=7)]
+        assert sorted(first) == sorted(second) == list(range(size))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            list(shard_positions(10, seed=1, window=IndexWindow(3, 3)))
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(shard_positions(0, seed=1)) == []
+
+
+class TestCyclicPermutationIndexing:
+    @given(sizes, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_getitem_matches_iteration(self, size, seed):
+        permutation = CyclicPermutation(size, seed=seed)
+        expected = list(permutation)
+        # Forward, repeated, and backwards seeks all agree.
+        assert [permutation[k] for k in range(size)] == expected
+        assert permutation[size - 1] == expected[-1]
+        assert permutation[0] == expected[0]
+        assert permutation[-1] == expected[-1]
+
+    def test_value_at_is_the_raw_walk(self):
+        permutation = CyclicPermutation(100, seed=3)
+        assert permutation.value_at(0) == permutation.start
+        step = (permutation.start * permutation.generator) % permutation.prime
+        assert permutation.value_at(1) == step
+        with pytest.raises(IndexError):
+            permutation.value_at(-1)
+
+    def test_out_of_range(self):
+        permutation = CyclicPermutation(10, seed=3)
+        with pytest.raises(IndexError):
+            permutation[10]
+
+
+class TestRoundTrip:
+    @given(
+        addresses=st.lists(
+            st.integers(min_value=0, max_value=(1 << 128) - 1),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_save_load_stream_round_trip(self, tmp_path_factory, addresses):
+        """save → load → stream survives RFC 5952 canonicalisation."""
+        path = tmp_path_factory.mktemp("targets") / "t.txt"
+        original = TargetList(name="rt", targets=list(dict.fromkeys(addresses)))
+        original.save(path)
+        loaded = TargetList.load(path)
+        stream = as_stream(loaded)
+        assert list(stream) == original.targets
+        assert [parse_address(format_address(t)) for t in stream] == list(stream)
+
+    def test_stream_of_loaded_list_keeps_provenance(self, tiny_hitlist, tmp_path):
+        targets = hitlist_slash64_targets(tiny_hitlist, max_targets=64)
+        path = tmp_path / "h.txt"
+        targets.save(path)
+        stream = as_stream(TargetList.load(path, subnet_length=64))
+        assert stream.name == "h"
+        assert stream.subnet_length == 64
+        assert list(stream) == targets.targets
+
+
+class TestLazyStream:
+    def test_realises_once(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return [3, 1, 2]
+
+        stream = LazyStream(factory, name="lazy")
+        assert not stream.realised
+        assert stream.buffered == 0
+        assert len(stream) == 3
+        assert stream[1] == 1
+        assert list(stream) == [3, 1, 2]
+        assert calls == [1]
+        assert stream.buffered == 3
+
+    def test_after_chain_realises_predecessors_first(self):
+        order = []
+        first = LazyStream(lambda: order.append("a") or [1], name="a")
+        second = LazyStream(
+            lambda: order.append("b") or [2], name="b", after=first
+        )
+        third = LazyStream(
+            lambda: order.append("c") or [3], name="c", after=second
+        )
+        # Touch the LAST stream first: the chain must still realise in
+        # build order, preserving shared-RNG draw order.
+        assert list(third) == [3]
+        assert order == ["a", "b", "c"]
+
+    def test_release_drops_buffer_and_blocks_reaccess(self):
+        stream = LazyStream(lambda: [1, 2], name="once")
+        assert len(stream) == 2
+        stream.release()
+        assert stream.buffered == 0
+        with pytest.raises(RuntimeError):
+            len(stream)
+
+    def test_released_predecessor_does_not_rerun(self):
+        order = []
+        first = LazyStream(lambda: order.append("a") or [1], name="a")
+        second = LazyStream(
+            lambda: order.append("b") or [2], name="b", after=first
+        )
+        list(first)
+        first.release()
+        # Realising the successor must NOT re-run the released
+        # predecessor's factory (its RNG draws are already spent).
+        assert list(second) == [2]
+        assert order == ["a", "b"]
+
+
+class TestComputableStreams:
+    def test_subnet_partition_matches_eager_enumeration(self):
+        prefix = IPv6Prefix.parse("2001:db8::/44")
+        stream = SubnetPartitionStream(prefix, 48)
+        eager = [subnet.network for subnet in prefix.subnets(48)]
+        assert len(stream) == len(eager) == 16
+        assert list(stream) == eager
+        assert [stream[i] for i in range(len(stream))] == eager
+        assert stream[-1] == eager[-1]
+        assert stream[2:5] == eager[2:5]
+        assert stream.buffered == 0
+
+    def test_bounds(self):
+        stream = SubnetPartitionStream(IPv6Prefix.parse("2001:db8::/44"), 48)
+        with pytest.raises(IndexError):
+            stream[16]
+        with pytest.raises(ValueError):
+            SubnetPartitionStream(IPv6Prefix.parse("2001:db8::/64"), 48)
+
+    def test_spec_round_trip(self):
+        stream = SubnetPartitionStream(IPv6Prefix.parse("2001:db8::/40"), 48)
+        rebuilt = build_stream(stream.spec(), world=None)
+        assert list(rebuilt) == list(stream)
+        assert rebuilt.name == stream.name
+
+    def test_permuted_stream_matches_permutation(self):
+        source = ListStream(list(range(100, 150)), name="src")
+        permuted = PermutedStream(source, seed=9)
+        order = list(CyclicPermutation(50, seed=9))
+        assert list(permuted) == [source[i] for i in order]
+        assert [permuted[k] for k in range(8)] == [
+            source[order[k]] for k in range(8)
+        ]
+        assert sorted(permuted) == list(source)
+
+
+class TestSpecs:
+    def test_unknown_builder_raises(self):
+        spec = StreamSpec(builder="nope", module="repro.scanner.stream")
+        with pytest.raises(ValueError, match="nope"):
+            build_stream(spec, world=None)
+
+    def test_make_spec_is_order_stable(self):
+        a = make_spec("b", "m", x=1, y=2)
+        b = make_spec("b", "m", y=2, x=1)
+        assert a == b
+        assert a.arguments() == {"x": 1, "y": 2}
+
+    def test_survey_spec_rebuilds_identical_sets(self, tiny_world, tiny_hitlist):
+        """A pool worker rebuilding an input set from its spec gets the
+        exact targets the parent's lazy chain realises — including the
+        RNG-consuming sets that depend on their predecessors' draws."""
+        config = SurveyConfig(
+            seed=13,
+            slash48_per_prefix=4,
+            max_bgp_48=400,
+            slash64_per_prefix=4,
+            max_bgp_64=300,
+            route6_per_prefix=2,
+            max_route6=300,
+        )
+        survey = SRASurvey(tiny_world, tiny_hitlist, config=config)
+        streams = survey.build_input_sets()
+        for name in ("bgp-plain", "bgp-48", "bgp-64", "route6-64"):
+            spec = streams[name].spec()
+            assert spec is not None, name
+            rebuilt = build_stream(spec, tiny_world)
+            assert list(rebuilt) == list(streams[name]), name
+        # The hitlist set is not world-derivable: no spec, data ships.
+        assert streams["hitlist-64"].spec() is None
+
+    def test_cli_spec_rebuilds_identical_sets(self, tiny_world):
+        from repro.scanner.cli import build_targets
+
+        stream = build_targets(
+            tiny_world, "bgp-48", max_targets=500, seed=21
+        )
+        rebuilt = build_stream(stream.spec(), tiny_world)
+        assert list(rebuilt) == list(stream)
+        assert stream.subnet_length == 48
+
+
+class TestCoercionsAndGauges:
+    def test_as_stream_passthrough_and_wrap(self):
+        stream = ListStream([1, 2], name="s")
+        assert as_stream(stream) is stream
+        wrapped = as_stream([5, 6], name="w")
+        assert list(wrapped) == [5, 6]
+        assert wrapped.name == "w"
+        from_iter = as_stream(iter([7, 8]))
+        assert list(from_iter) == [7, 8]
+
+    def test_stream_buffered(self):
+        assert stream_buffered([1, 2, 3]) == 3
+        assert stream_buffered(SubnetPartitionStream(
+            IPv6Prefix.parse("2001:db8::/44"), 48
+        )) == 0
+        lazy = LazyStream(lambda: [1], name="l")
+        assert stream_buffered(lazy) == 0
+        len(lazy)
+        assert stream_buffered(lazy) == 1
+        assert stream_buffered(iter(())) == 0
+
+
+def _records():
+    return [
+        ScanRecord(target=1, source=10, icmp_type=129, code=0, count=1, time=0.1),
+        ScanRecord(target=2, source=11, icmp_type=1, code=0, count=3, time=0.2),
+        ScanRecord(target=3, source=10, icmp_type=1, code=0, count=1, time=0.3),
+        ScanRecord(target=4, source=12, icmp_type=129, code=0, count=1, time=0.4),
+        ScanRecord(target=4, source=12, icmp_type=129, code=0, count=1, time=0.5),
+    ]
+
+
+class TestSinks:
+    def test_memory_sink_preserves_records(self):
+        sink = MemorySink()
+        for record in _records():
+            sink.emit(record)
+        assert sink.records == _records()
+        assert sink.emitted == 5
+
+    def test_counting_sink_matches_result_aggregates(self):
+        result = ScanResult(name="s", records=_records())
+        sink = CountingSink()
+        for record in _records():
+            sink.emit(record)
+        assert sink.emitted == len(result.records)
+        assert sink.flood_packets == result.flood_packets
+        assert len(sink.responsive_targets) == result.responsive_targets
+        assert sink.sources == result.sources()
+        assert sink.echo_sources == result.echo_sources()
+        assert sink.error_sources == result.error_sources()
+        assert sink.classify_sources() == result.classify_sources()
+
+    def test_jsonl_sink_to_handle_matches_writer(self, tmp_path):
+        import io
+
+        result = ScanResult(name="s", records=_records())
+        path = tmp_path / "w.jsonl"
+        result.write_jsonl(path)
+        handle = io.StringIO()
+        sink = JsonlSink(handle)
+        for record in _records():
+            sink.emit(record)
+        sink.close()  # caller-owned handle stays open
+        assert handle.getvalue() == path.read_text()
+        assert sink.emitted == 5
+
+    def test_tee_fans_out(self):
+        first, second = MemorySink(), MemorySink()
+        tee = TeeSink((first, second))
+        for record in _records():
+            tee.emit(record)
+        assert first.records == second.records == _records()
+        assert tee.emitted == 5
+
+    def test_sink_context_manager_closes_owned_file(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(_records()[0])
+        assert path.read_text().startswith("{")

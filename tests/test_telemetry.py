@@ -18,7 +18,6 @@ from repro.telemetry import (
     EVENT_TYPES,
     SCHEMA_VERSION,
     Counter,
-    Gauge,
     Histogram,
     MetricsRegistry,
     ScanTelemetry,
