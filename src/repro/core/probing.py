@@ -94,13 +94,25 @@ def _scan(
     epoch: int,
     runner: ShardedScanRunner | None = None,
     telemetry: ScanTelemetry | None = None,
+    max_shard_retries: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> ScanResult:
     """Run one campaign scan, serially or through a sharded runner.
 
     Sharded execution is merge-deterministic, so passing a runner changes
     wall-clock time only, never the results; ``telemetry`` observes the
-    scan either way.
+    scan either way.  ``max_shard_retries``/``checkpoint_dir`` make the
+    campaign crash-tolerant when no runner was supplied (a supplied
+    runner carries its own recovery configuration); each scan of the
+    campaign then journals per (name, epoch) and auto-resumes.
     """
+    if runner is None and (max_shard_retries > 0 or checkpoint_dir is not None):
+        runner = ShardedScanRunner(
+            world,
+            shards=1,
+            max_shard_retries=max_shard_retries,
+            checkpoint_dir=checkpoint_dir,
+        )
     if runner is None:
         engine = SimulationEngine(world, epoch=epoch)
         scanner = ZMapV6Scanner(engine, config, telemetry=telemetry)
@@ -120,6 +132,8 @@ def run_sra_vs_random(
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
     telemetry: ScanTelemetry | None = None,
+    max_shard_retries: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> ComparisonSeries:
     """Fig. 5: paired SRA and random scans of the same /64 subnets."""
     series = ComparisonSeries()
@@ -147,6 +161,8 @@ def run_sra_vs_random(
                 epoch=epoch,
                 runner=runner,
                 telemetry=telemetry,
+                max_shard_retries=max_shard_retries,
+                checkpoint_dir=checkpoint_dir,
             )
             bucket.append(MethodScan(epoch=epoch, result=result))
         random_targets.release()
@@ -203,6 +219,8 @@ def run_visibility(
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
     telemetry: ScanTelemetry | None = None,
+    max_shard_retries: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> VisibilityReport:
     """Probe each discovered router IP directly, once per day (Fig. 6a)."""
     report = VisibilityReport(probed=set(router_ips))
@@ -218,6 +236,8 @@ def run_visibility(
             epoch=epoch,
             runner=runner,
             telemetry=telemetry,
+            max_shard_retries=max_shard_retries,
+            checkpoint_dir=checkpoint_dir,
         )
         # Count a router visible only if it answered from the probed address.
         responsive = {
@@ -270,6 +290,8 @@ def run_stability(
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
     telemetry: ScanTelemetry | None = None,
+    max_shard_retries: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> StabilityReport:
     """Fig. 6b: does re-probing an SRA reveal the same router IP?"""
     report = StabilityReport()
@@ -283,6 +305,8 @@ def run_stability(
             epoch=epoch,
             runner=runner,
             telemetry=telemetry,
+            max_shard_retries=max_shard_retries,
+            checkpoint_dir=checkpoint_dir,
         )
         mapping = result.target_to_source()
         if epoch == 0:
@@ -302,6 +326,8 @@ def run_direct_discovery(
     batch_size: int = 1024,
     runner: ShardedScanRunner | None = None,
     telemetry: ScanTelemetry | None = None,
+    max_shard_retries: int = 0,
+    checkpoint_dir: str | None = None,
 ) -> set[int]:
     """One direct scan of known router addresses — the baseline for the
     "SRA discovers 80 % more than direct targeting" comparison."""
@@ -314,6 +340,8 @@ def run_direct_discovery(
         epoch=epoch,
         runner=runner,
         telemetry=telemetry,
+        max_shard_retries=max_shard_retries,
+        checkpoint_dir=checkpoint_dir,
     )
     return {
         record.source

@@ -95,6 +95,13 @@ class SurveyConfig:
     # `progress` events (0 = none).
     telemetry: bool = False
     progress_every: int = 0
+    # Crash tolerance: retry budget per failed shard, and a directory for
+    # per-(scan, epoch) checkpoint journals.  Either switches the runner
+    # into recovery mode (journal after every shard, retry with backoff,
+    # salvage on SIGINT/SIGTERM); a journal left in checkpoint_dir from
+    # an interrupted run auto-resumes and finishes byte-identically.
+    max_shard_retries: int = 0
+    checkpoint_dir: str | None = None
 
 
 # Config fields a worker needs to rebuild an input set from a spec.
@@ -283,7 +290,11 @@ class SRASurvey:
             telemetry = ScanTelemetry()
         self.telemetry = telemetry
         self.runner = runner or ShardedScanRunner(
-            world, shards=self.config.shards, executor=self.config.parallel
+            world,
+            shards=self.config.shards,
+            executor=self.config.parallel,
+            max_shard_retries=self.config.max_shard_retries,
+            checkpoint_dir=self.config.checkpoint_dir,
         )
 
     # ---------------- input sets ---------------- #

@@ -15,6 +15,8 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from ..scanner.checkpoint import CheckpointError
+from ..scanner.sharded import ScanInterrupted, ShardFailedError
 from ..telemetry.scan import ScanTelemetry
 from .base import ExperimentReport
 from .world import ExperimentContext, get_context
@@ -108,6 +110,11 @@ def main(argv: list[str] | None = None) -> int:
         "(default: one per core; results are identical at any count)",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        help="journal every campaign scan here; an interrupted run "
+        "resumes from the journals and regenerates identical outputs",
+    )
+    parser.add_argument(
         "--telemetry-out",
         help="write the campaign's JSONL telemetry event stream here",
     )
@@ -122,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
     for flag, value in (
+        ("--checkpoint-dir", args.checkpoint_dir),
         ("--telemetry-out", args.telemetry_out),
         ("--metrics-out", args.metrics_out),
     ):
@@ -143,7 +151,12 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
-    context = get_context(args.scale, seed=args.seed, shards=args.shards)
+    context = get_context(
+        args.scale,
+        seed=args.seed,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+    )
     telemetry = (
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
     )
@@ -155,7 +168,26 @@ def main(argv: list[str] | None = None) -> int:
             context.runner.telemetry = telemetry
     for experiment_id in requested:
         started = time.perf_counter()
-        report = run_experiment(experiment_id, context)
+        try:
+            report = run_experiment(experiment_id, context)
+        except CheckpointError as error:
+            print(f"sra-repro: checkpoint error: {error}", file=sys.stderr)
+            return 4
+        except ScanInterrupted as error:
+            print(
+                f"sra-repro: interrupted during {experiment_id}: {error}",
+                file=sys.stderr,
+            )
+            if args.checkpoint_dir:
+                print(
+                    "sra-repro: re-run the same command to resume from "
+                    f"{args.checkpoint_dir}",
+                    file=sys.stderr,
+                )
+            return 5
+        except ShardFailedError as error:
+            print(f"sra-repro: {error}", file=sys.stderr)
+            return 1
         elapsed = time.perf_counter() - started
         print(report)
         print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")

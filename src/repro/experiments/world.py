@@ -194,6 +194,8 @@ class ExperimentContext:
             shards=self.scale.survey_config.shards,
             executor=self.scale.survey_config.parallel,
             telemetry=self.telemetry,
+            max_shard_retries=self.scale.survey_config.max_shard_retries,
+            checkpoint_dir=self.scale.survey_config.checkpoint_dir,
         )
 
     @cached_property
@@ -306,18 +308,27 @@ class ExperimentContext:
         return LoopAnalysis.from_scans(bgp48.result)
 
 
-_CONTEXTS: dict[tuple[str, int, int | None], ExperimentContext] = {}
+_CONTEXTS: dict[
+    tuple[str, int, int | None, str | None], ExperimentContext
+] = {}
 
 
 def get_context(
-    scale: str = "quick", *, seed: int = 2024, shards: int | None = None
+    scale: str = "quick",
+    *,
+    seed: int = 2024,
+    shards: int | None = None,
+    checkpoint_dir: str | None = None,
 ) -> ExperimentContext:
     """Process-level memoised context (scales: 'quick', 'full').
 
     ``shards`` overrides the scale's automatic shard count (results are
     identical either way; this tunes parallel scan execution only).
+    ``checkpoint_dir`` makes every campaign scan journal per (scan,
+    epoch) there — an interrupted ``sra-repro`` run resumes from those
+    journals and regenerates identical tables/figures.
     """
-    key = (scale, seed, shards)
+    key = (scale, seed, shards, checkpoint_dir)
     if key not in _CONTEXTS:
         try:
             factory = SCALES[scale]
@@ -326,10 +337,15 @@ def get_context(
                 f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
             ) from None
         built = factory(seed)
+        overrides = {}
         if shards is not None:
+            overrides["shards"] = shards
+        if checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = checkpoint_dir
+        if overrides:
             built = replace(
                 built,
-                survey_config=replace(built.survey_config, shards=shards),
+                survey_config=replace(built.survey_config, **overrides),
             )
         _CONTEXTS[key] = ExperimentContext(scale=built)
     return _CONTEXTS[key]

@@ -7,13 +7,24 @@ from .engine import (
     Reply,
     SimulationEngine,
 )
+from .faults import (
+    ChaosEngine,
+    FaultPlan,
+    InjectedCrash,
+    InjectedSinkError,
+    truncate_tail,
+)
 from .pcap import PcapWriter, capture_scan, read_pcap
 from .ratelimit import TokenBucket
 from .stochastic import stable_bool, stable_unit
 
 __all__ = [
     "AMPLIFICATION_CAP",
+    "ChaosEngine",
     "EngineStats",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedSinkError",
     "PcapWriter",
     "ProbeResult",
     "Reply",
@@ -23,4 +34,5 @@ __all__ = [
     "read_pcap",
     "stable_bool",
     "stable_unit",
+    "truncate_tail",
 ]

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for exercising crash-recovery paths.
+
+Recovery code that is only ever exercised by real crashes is recovery
+code that does not work.  This module provides a :class:`ChaosEngine`
+that injects the failure modes the scan runner must survive — worker
+crashes at an exact probe index, sink-write exceptions, truncated JSONL
+output, slow shards, and operator interrupts — all *deterministically*:
+stochastic faults are keyed BLAKE2 draws over ``(seed, purpose, shard,
+attempt)`` exactly like every other stochastic decision in the simulator
+(:mod:`repro.netsim.stochastic`), so a failing CI run reproduces locally
+from the seed alone.
+
+The engine is plain data and picklable, so it rides the same process-pool
+payload as the scan config and fires *inside* the worker — a "hard" crash
+is a genuine ``os._exit`` that the parent observes as a broken pool, not
+a polite exception.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .stochastic import stable_unit
+
+__all__ = [
+    "ChaosEngine",
+    "CrashingSequence",
+    "FailingSink",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedSinkError",
+    "truncate_tail",
+]
+
+# Exit status a hard-crashed worker dies with; chosen to be recognisable
+# in pool post-mortems and unlike any real Python exit code.
+HARD_CRASH_EXIT = 66
+
+
+class InjectedCrash(RuntimeError):
+    """A deliberate, planned worker failure (soft crash)."""
+
+
+class InjectedSinkError(OSError):
+    """A deliberate, planned record-sink write failure."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """What to break, where, and how often.
+
+    All fields default to "inject nothing", so an empty plan is a no-op
+    engine.  Deterministic triggers (``crash_shard``/``crash_at_probe``)
+    and stochastic ones (``crash_probability``) compose; either may fire.
+    """
+
+    seed: int = 0
+    # Crash shard `crash_shard` at its `crash_at_probe`-th probe, on the
+    # first `crash_attempts` attempts (so retries eventually succeed).
+    crash_shard: int | None = None
+    crash_at_probe: int = 0
+    crash_attempts: int = 1
+    # Hard crashes os._exit the worker (parent sees a broken pool);
+    # soft crashes raise InjectedCrash.  Hard mode is only meaningful
+    # under the process executor — in-process it would kill the test run.
+    hard: bool = False
+    # Independently of the planned crash, each (shard, attempt) crashes
+    # with this probability, drawn via stable_unit(seed, ...).
+    crash_probability: float = 0.0
+    # Sink writes raise after this many successful emits (None = never).
+    sink_fail_after: int | None = None
+    # Per-shard start-up delays in seconds (simulates stragglers).
+    slow_shards: Mapping[int, float] = field(default_factory=dict)
+    # Ask the runner to interrupt itself (as if SIGINT arrived) once this
+    # many shards have completed and checkpointed.
+    interrupt_after_shards: int | None = None
+
+
+class CrashingSequence:
+    """A target sequence that dies at its N-th per-probe access.
+
+    The scan hot path reads ``targets[index]`` exactly once per probe, so
+    counting ``__getitem__`` calls addresses faults by probe ordinal —
+    "crash at probe 37" — independent of batch size or permutation.
+    """
+
+    __slots__ = ("_targets", "_remaining", "_hard")
+
+    def __init__(self, targets: Sequence[int], at_probe: int, hard: bool) -> None:
+        self._targets = targets
+        self._remaining = at_probe
+        self._hard = hard
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    def __getitem__(self, index: int) -> int:
+        if self._remaining <= 0:
+            if self._hard:  # pragma: no cover - kills the process by design
+                os._exit(HARD_CRASH_EXIT)
+            raise InjectedCrash(
+                f"planned crash at probe access (index {index})"
+            )
+        self._remaining -= 1
+        return self._targets[index]
+
+
+class FailingSink:
+    """A record-sink proxy whose ``emit`` fails after N successes."""
+
+    __slots__ = ("_sink", "_remaining")
+
+    def __init__(self, sink, fail_after: int) -> None:
+        self._sink = sink
+        self._remaining = fail_after
+
+    @property
+    def emitted(self) -> int:
+        return self._sink.emitted
+
+    def emit(self, record) -> None:
+        if self._remaining <= 0:
+            raise InjectedSinkError("planned sink write failure")
+        self._remaining -= 1
+        self._sink.emit(record)
+
+    def close(self) -> None:
+        self._sink.close()
+
+    def __enter__(self) -> "FailingSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def truncate_tail(path: str | Path, drop_bytes: int) -> None:
+    """Chop ``drop_bytes`` off a file's tail — a torn write, simulated.
+
+    Used by tests to model the crash-mid-write corruption that atomic
+    renames prevent and checkpoint CRCs detect.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - drop_bytes))
+
+
+@dataclass(slots=True)
+class ChaosEngine:
+    """Applies a :class:`FaultPlan` at the scan runner's seams.
+
+    Picklable plain data: process-pool workers receive a copy and decide
+    locally (and identically, thanks to keyed hashing) whether their
+    (shard, attempt) is fated to fail.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+
+    def should_crash(self, shard: int, attempt: int) -> bool:
+        """Is this (shard, attempt) planned or fated to crash?"""
+        plan = self.plan
+        if plan.crash_shard == shard and attempt < plan.crash_attempts:
+            return True
+        if plan.crash_probability > 0.0:
+            draw = stable_unit(plan.seed, b"chaos-crash", shard, attempt)
+            if draw < plan.crash_probability:
+                return True
+        return False
+
+    def wrap_targets(
+        self, targets: Sequence[int], shard: int, attempt: int
+    ) -> Sequence[int]:
+        """Arm the crash trigger on a shard's target view (or pass through)."""
+        if self.should_crash(shard, attempt):
+            return CrashingSequence(targets, self.plan.crash_at_probe, self.plan.hard)
+        return targets
+
+    def wrap_sink(self, sink):
+        """Arm the sink-failure trigger (or pass through)."""
+        if sink is not None and self.plan.sink_fail_after is not None:
+            return FailingSink(sink, self.plan.sink_fail_after)
+        return sink
+
+    def delay_shard(self, shard: int) -> None:
+        """Stall a slow shard's start-up per the plan."""
+        delay = self.plan.slow_shards.get(shard, 0.0)
+        if delay > 0.0:  # pragma: no branch
+            time.sleep(delay)
+
+    def wants_interrupt(self, completed_shards: int) -> bool:
+        """Should the runner self-interrupt after this many completions?"""
+        after = self.plan.interrupt_after_shards
+        return after is not None and completed_shards >= after

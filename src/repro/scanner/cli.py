@@ -23,8 +23,14 @@ from ..datasets.tum import harvest_hitlist, published_alias_list
 from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
+from .checkpoint import CheckpointError
 from .records import ScanResult
-from .sharded import ShardedScanRunner, auto_shard_count
+from .sharded import (
+    ScanInterrupted,
+    ShardedScanRunner,
+    ShardFailedError,
+    auto_shard_count,
+)
 from .stream import (
     CsvSink,
     JsonlSink,
@@ -185,6 +191,27 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 3 if the process's peak RSS exceeded MB mebibytes "
         "(a guard rail for constant-memory scans)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal completed shards to PATH after each shard; with "
+        "--resume a prior journal is loaded and only missing shards "
+        "re-run (merged output is byte-identical to an uninterrupted "
+        "scan). SIGINT/SIGTERM flush a final checkpoint and exit 5",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from --checkpoint if it exists (fresh start otherwise)",
+    )
+    parser.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a crashed shard up to N times on a fresh pool "
+        "(bounded exponential backoff) before giving up",
+    )
     parser.add_argument("--pcap", help="also write raw traffic as pcap")
     parser.add_argument(
         "--telemetry-out", help="write the scan's JSONL event stream here"
@@ -204,6 +231,10 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
     if args.progress_every < 0:
         parser.error("--progress-every must be >= 0")
+    if args.max_shard_retries < 0:
+        parser.error("--max-shard-retries must be >= 0")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
     if args.stream_records:
         if not (args.output or args.jsonl):
             parser.error("--stream-records needs --output and/or --jsonl")
@@ -220,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--pcap", args.pcap),
             ("--telemetry-out", args.telemetry_out),
             ("--metrics-out", args.metrics_out),
+            ("--checkpoint", args.checkpoint),
         ]
     )
     if problem is not None:
@@ -241,7 +273,11 @@ def main(argv: list[str] | None = None) -> int:
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
     )
     runner = ShardedScanRunner(
-        world, shards=shards, executor=args.parallel, telemetry=telemetry
+        world,
+        shards=shards,
+        executor=args.parallel,
+        telemetry=telemetry,
+        max_shard_retries=args.max_shard_retries,
     )
     sink: RecordSink | None = None
     if args.stream_records:
@@ -251,18 +287,44 @@ def main(argv: list[str] | None = None) -> int:
         if args.jsonl:
             outputs.append(JsonlSink(args.jsonl))
         sink = outputs[0] if len(outputs) == 1 else TeeSink(tuple(outputs))
-    result: ScanResult = runner.scan(
-        targets,
-        ScanConfig(
-            pps=pps,
-            hop_limit=args.hop_limit,
-            seed=args.seed,
-            progress_every=args.progress_every,
-        ),
-        name=args.input_set,
-        epoch=args.epoch,
-        sink=sink,
-    )
+    try:
+        result: ScanResult = runner.scan(
+            targets,
+            ScanConfig(
+                pps=pps,
+                hop_limit=args.hop_limit,
+                seed=args.seed,
+                progress_every=args.progress_every,
+            ),
+            name=args.input_set,
+            epoch=args.epoch,
+            sink=sink,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except CheckpointError as error:
+        # Corrupt / truncated / mismatched journal: a clear one-liner, no
+        # traceback — the operator decides whether to delete and restart.
+        if sink is not None:
+            sink.abort()
+        print(f"sra-scan: {error}", file=sys.stderr)
+        return 4
+    except ScanInterrupted as interrupted:
+        if sink is not None:
+            sink.abort()
+        print(f"sra-scan: {interrupted}", file=sys.stderr)
+        if args.checkpoint:
+            print(
+                f"sra-scan: resume with --checkpoint {args.checkpoint} "
+                "--resume",
+                file=sys.stderr,
+            )
+        return 5
+    except ShardFailedError as failure:
+        if sink is not None:
+            sink.abort()
+        print(f"sra-scan: {failure}", file=sys.stderr)
+        return 1
     if sink is not None:
         sink.close()
     if not args.no_alias_filter:

@@ -9,12 +9,14 @@ and the echo/error/both classification of router IPs (Fig. 4).
 from __future__ import annotations
 
 import csv
+import io
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..addr.ipv6 import format_address
+from ..atomicio import atomic_write_text
 from ..packet.icmpv6 import ICMPv6Type
 
 if TYPE_CHECKING:  # avoid a hard scanner -> netsim import at module load
@@ -179,18 +181,20 @@ class ScanResult:
     # ---------------- persistence ---------------- #
 
     def write_csv(self, path: str | Path) -> None:
-        with open(path, "w", encoding="utf-8", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(
-                ["target", "source", "icmp_type", "code", "count", "time"]
-            )
-            for record in self.records:
-                writer.writerow(record_csv_row(record))
+        # Built in memory and written atomically (temp + rename + fsync):
+        # a crash mid-write must never leave a torn CSV at the final path.
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(
+            ["target", "source", "icmp_type", "code", "count", "time"]
+        )
+        for record in self.records:
+            writer.writerow(record_csv_row(record))
+        atomic_write_text(Path(path), out.getvalue())
 
     def write_jsonl(self, path: str | Path) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            for record in self.records:
-                handle.write(record_jsonl_line(record))
+        text = "".join(record_jsonl_line(record) for record in self.records)
+        atomic_write_text(Path(path), text)
 
 
 def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:

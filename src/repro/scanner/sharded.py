@@ -25,11 +25,23 @@ suppressed and the same counters come out.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import signal
+import threading
+import time
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..netsim.engine import EngineStats, SimulationEngine
+from ..netsim.faults import ChaosEngine
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.scan import (
     HotPathCollector,
@@ -41,17 +53,76 @@ from ..telemetry.scan import (
     retract_record,
 )
 from ..topology.entities import World
+from .checkpoint import (
+    ScanCheckpoint,
+    config_key,
+    load_checkpoint,
+    restore_telemetry,
+    save_checkpoint,
+    snapshot_telemetry,
+    target_fingerprint,
+)
 from .records import ScanResult, merge_results
 from .stream import RecordSink, StreamSpec, TargetStream, build_stream, stream_buffered
 from .zmapv6 import ScanConfig, ZMapV6Scanner
 
 __all__ = [
+    "ScanInterrupted",
+    "ShardFailedError",
     "ShardOutcome",
     "ShardedScanRunner",
     "auto_shard_count",
     "merge_shard_outcomes",
     "scan_shard",
 ]
+
+
+class ScanInterrupted(RuntimeError):
+    """The scan stopped on SIGINT/SIGTERM after flushing a checkpoint.
+
+    Completed shards are salvaged in the journal at ``checkpoint_path``;
+    re-running with ``resume`` finishes only the remaining shards.
+    """
+
+    def __init__(
+        self, checkpoint_path: "Path | None", completed: int, remaining: int
+    ) -> None:
+        self.checkpoint_path = checkpoint_path
+        self.completed = completed
+        self.remaining = remaining
+        where = (
+            f"; {completed} completed shard(s) saved to {checkpoint_path}"
+            if checkpoint_path is not None
+            else ""
+        )
+        super().__init__(
+            f"scan interrupted with {remaining} shard(s) outstanding{where}"
+        )
+
+
+class ShardFailedError(RuntimeError):
+    """A shard kept failing past ``max_shard_retries``."""
+
+    def __init__(
+        self,
+        shard: int,
+        attempts: int,
+        error: BaseException,
+        checkpoint_path: "Path | None",
+    ) -> None:
+        self.shard = shard
+        self.attempts = attempts
+        self.error = error
+        self.checkpoint_path = checkpoint_path
+        salvage = (
+            f" (completed shards salvaged in {checkpoint_path})"
+            if checkpoint_path is not None
+            else ""
+        )
+        super().__init__(
+            f"shard {shard} failed {attempts} attempt(s): "
+            f"{type(error).__name__}: {error}{salvage}"
+        )
 
 # Below this many targets a process pool costs more (world pickling, fork)
 # than the scan itself; fall back to threads.
@@ -76,6 +147,9 @@ class ShardOutcome:
     # Raw telemetry capture (progress events, per-shard metrics, first
     # loop sightings) when the scan ran with telemetry on; None otherwise.
     telemetry: ShardTelemetry | None = None
+    # Denominator of this shard's index window (IndexWindow(shard, shards)):
+    # the merge validates that outcomes tile the permutation exactly once.
+    shards: int = 1
 
 
 def scan_shard(
@@ -88,6 +162,8 @@ def scan_shard(
     shard: int,
     shards: int,
     collect_telemetry: bool = False,
+    chaos: ChaosEngine | None = None,
+    attempt: int = 0,
 ) -> ShardOutcome:
     """Run one shard of a scan with the rate limiter deferred.
 
@@ -105,6 +181,12 @@ def scan_shard(
     """
     if isinstance(targets, StreamSpec):
         targets = build_stream(targets, world)
+    if chaos is not None:
+        # Fault injection arms here, inside the (possibly pooled) worker:
+        # a planned crash for this (shard, attempt) fires at the exact
+        # per-probe target access the plan names.
+        chaos.delay_shard(shard)
+        targets = chaos.wrap_targets(targets, shard, attempt)
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
     scanner = ZMapV6Scanner(
         engine,
@@ -125,6 +207,7 @@ def scan_shard(
         stats=replace(engine.stats),
         checks=list(engine.pending_checks),
         telemetry=capture,
+        shards=shards,
     )
 
 
@@ -154,6 +237,7 @@ def merge_shard_outcomes(
     walks the exact serial check sequence.
     """
     ordered = sorted(outcomes, key=lambda outcome: outcome.shard)
+    _validate_shard_windows(ordered)
     # (time, shard, router_id, record indices at that time) — at most one
     # rate-limit check exists per probe, and probe times are unique, so
     # sorting by time alone reconstructs the serial check sequence.
@@ -229,6 +313,47 @@ def merge_shard_outcomes(
             targets_buffered=targets_buffered,
         )
     return merged
+
+
+def _validate_shard_windows(ordered: Sequence[ShardOutcome]) -> None:
+    """Refuse to merge unless the outcomes tile the permutation exactly.
+
+    Each outcome covers index window ``(shard, shards)`` — every
+    ``shards``-th slot of the global permutation starting at ``shard``.
+    The windows partition the target range iff every outcome agrees on
+    the denominator and each shard index 0..shards-1 appears exactly
+    once.  A silent gap (crashed shard never re-run) or overlap (shard
+    retried into the same merge twice) would otherwise produce a
+    plausible-looking but wrong merged result.
+    """
+    if not ordered:
+        raise ValueError("no shard outcomes to merge")
+    shards = ordered[0].shards
+    seen: set[int] = set()
+    for outcome in ordered:
+        if outcome.shards != shards:
+            raise ValueError(
+                f"shard window mismatch: outcome for shard {outcome.shard} "
+                f"covers window ({outcome.shard}, {outcome.shards}), other "
+                f"outcomes use denominator {shards}"
+            )
+        if not 0 <= outcome.shard < shards:
+            raise ValueError(
+                f"shard window ({outcome.shard}, {shards}) is outside the "
+                f"permutation: shard index must be in [0, {shards})"
+            )
+        if outcome.shard in seen:
+            raise ValueError(
+                f"overlapping shard windows: shard {outcome.shard} of "
+                f"{shards} appears more than once in the merge"
+            )
+        seen.add(outcome.shard)
+    missing = sorted(set(range(shards)) - seen)
+    if missing:
+        raise ValueError(
+            f"shard windows leave gaps: missing shard(s) {missing} of "
+            f"{shards}; refusing to merge a partial scan"
+        )
 
 
 def _merge_telemetry(
@@ -319,6 +444,8 @@ def _worker_scan_shard(
     shard: int,
     shards: int,
     collect_telemetry: bool = False,
+    chaos: ChaosEngine | None = None,
+    attempt: int = 0,
 ) -> ShardOutcome:
     assert _WORKER_WORLD is not None and _WORKER_TARGETS is not None
     return scan_shard(
@@ -330,6 +457,8 @@ def _worker_scan_shard(
         shard=shard,
         shards=shards,
         collect_telemetry=collect_telemetry,
+        chaos=chaos,
+        attempt=attempt,
     )
 
 
@@ -348,6 +477,16 @@ class ShardedScanRunner:
     (in-process, for debugging), ``"auto"`` (process above
     :data:`PROCESS_POOL_THRESHOLD` targets on multi-core hosts, threads
     otherwise).
+
+    Crash tolerance: with a checkpoint path (or ``checkpoint_dir``), a
+    retry budget (``max_shard_retries``), or a :class:`ChaosEngine`, the
+    scan runs in *recovery mode* — every shard (even at ``shards=1``)
+    goes through the deferred-replay pipeline, a journal is flushed after
+    each completed shard, failed shards are retried on a fresh pool with
+    bounded exponential backoff, and SIGINT/SIGTERM salvage completed
+    shards into a final checkpoint (:class:`ScanInterrupted`).  A resumed
+    scan re-runs only the missing index windows and merges to the exact
+    bytes an uninterrupted run produces.
     """
 
     def __init__(
@@ -359,11 +498,18 @@ class ShardedScanRunner:
         max_workers: int | None = None,
         process_threshold: int = PROCESS_POOL_THRESHOLD,
         telemetry: ScanTelemetry | None = None,
+        max_shard_retries: int = 0,
+        retry_backoff: float = 0.1,
+        retry_backoff_cap: float = 5.0,
+        checkpoint_dir: "str | Path | None" = None,
+        chaos: ChaosEngine | None = None,
     ) -> None:
         if executor not in ("auto", "process", "thread", "serial"):
             raise ValueError(
                 "executor must be one of auto/process/thread/serial"
             )
+        if max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
         self.world = world
         self.shards = auto_shard_count() if shards is None else shards
         if self.shards < 1:
@@ -372,6 +518,20 @@ class ShardedScanRunner:
         self.max_workers = max_workers
         self.process_threshold = process_threshold
         self.telemetry = telemetry
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.chaos = chaos
+        self._interrupted = False
+
+    def request_interrupt(self) -> None:
+        """Ask a recovery-mode scan to stop after the in-flight round,
+        flush a final checkpoint, and raise :class:`ScanInterrupted`.
+        Signal handlers and tests call this; safe from any thread."""
+        self._interrupted = True
 
     def scan(
         self,
@@ -382,6 +542,9 @@ class ShardedScanRunner:
         epoch: int = 0,
         telemetry: ScanTelemetry | None = None,
         sink: RecordSink | None = None,
+        checkpoint: "str | Path | None" = None,
+        resume: bool = False,
+        chaos: ChaosEngine | None = None,
     ) -> ScanResult:
         """Scan all targets across ``self.shards`` shards and merge.
 
@@ -398,14 +561,45 @@ class ShardedScanRunner:
         target side, via spec-shipped streams).  Either way the sink sees
         the records in exact serial order and the returned result carries
         them in ``records_streamed`` instead of ``records``.
+
+        ``checkpoint`` names the journal file for this scan (overriding
+        the runner's ``checkpoint_dir`` naming); ``resume`` loads it if
+        present and re-runs only the missing shards (a ``checkpoint_dir``
+        journal auto-resumes).  Either option — or a retry budget or
+        ``chaos`` plan on the runner — switches the scan into recovery
+        mode (see the class docstring).
         """
         config = config or ScanConfig()
         effective = telemetry if telemetry is not None else self.telemetry
+        chaos = chaos if chaos is not None else self.chaos
         target_list = (
             targets
             if isinstance(targets, (list, tuple, TargetStream))
             else list(targets)
         )
+        checkpoint_path = self._checkpoint_path(checkpoint, name, epoch)
+        if checkpoint is not None and self.checkpoint_dir is None:
+            auto_resume = resume
+        else:
+            # checkpoint_dir journals auto-resume: a file left behind means
+            # an interrupted scan, and resuming is always byte-safe.
+            auto_resume = resume or self.checkpoint_dir is not None
+        if (
+            checkpoint_path is not None
+            or self.max_shard_retries > 0
+            or chaos is not None
+        ):
+            return self._scan_with_recovery(
+                target_list,
+                config,
+                name=name,
+                epoch=epoch,
+                telemetry=effective,
+                sink=sink,
+                checkpoint_path=checkpoint_path,
+                resume=auto_resume,
+                chaos=chaos,
+            )
         if self.shards == 1:
             engine = SimulationEngine(self.world, epoch=epoch)
             scanner = ZMapV6Scanner(
@@ -519,3 +713,325 @@ class ShardedScanRunner:
                 for shard in range(self.shards)
             ]
             return [future.result() for future in futures]
+
+    # ---------------- crash-tolerant execution ---------------- #
+
+    def _checkpoint_path(
+        self, checkpoint: "str | Path | None", name: str, epoch: int
+    ) -> Path | None:
+        """Resolve where this scan journals: an explicit path wins,
+        otherwise ``checkpoint_dir`` names one file per (scan, epoch)."""
+        if checkpoint is not None:
+            return Path(checkpoint)
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            safe = name.replace(os.sep, "_")
+            return self.checkpoint_dir / f"{safe}-epoch{epoch}.ckpt"
+        return None
+
+    @contextmanager
+    def _signal_guard(self):
+        """Route SIGINT/SIGTERM to a graceful interrupt while a recovery
+        scan runs (main thread only; restores handlers on exit)."""
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = {}
+
+        def handler(signum, frame):  # pragma: no cover - signal delivery
+            self._interrupted = True
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+    def _scan_with_recovery(
+        self,
+        target_list: Sequence[int],
+        config: ScanConfig,
+        *,
+        name: str,
+        epoch: int,
+        telemetry: ScanTelemetry | None,
+        sink: RecordSink | None,
+        checkpoint_path: Path | None,
+        resume: bool,
+        chaos: ChaosEngine | None,
+    ) -> ScanResult:
+        """The crash-tolerant scan loop: journal, retry, salvage, merge.
+
+        Every shard runs through the deferred-replay pipeline (even at
+        ``shards=1``, so checkpoint/resume and the plain run share one
+        code path and one byte-level outcome).  After each completed
+        shard the journal is rewritten atomically; failed shards retry on
+        a fresh pool with bounded exponential backoff; an interrupt
+        flushes a final checkpoint and raises :class:`ScanInterrupted`.
+        """
+        shards = self.shards
+        scan_key = config_key(config)
+        target_count = len(target_list)
+        fingerprint = target_fingerprint(target_list)
+        spec = (
+            target_list.spec() if isinstance(target_list, TargetStream) else None
+        )
+        collect = telemetry is not None
+
+        outcomes: dict[int, ShardOutcome] = {}
+        resumed = False
+        if checkpoint_path is not None and resume and checkpoint_path.exists():
+            journal = load_checkpoint(checkpoint_path)
+            journal.validate_resume(
+                name=name,
+                epoch=epoch,
+                shards=shards,
+                scan_key=scan_key,
+                target_count=target_count,
+                fingerprint=fingerprint,
+            )
+            outcomes = dict(journal.outcomes)
+            resumed = True
+            if telemetry is not None:
+                if journal.telemetry is not None:
+                    restore_telemetry(telemetry, journal.telemetry)
+                telemetry.scan_resumed(
+                    scan=name,
+                    epoch=epoch,
+                    completed=len(outcomes),
+                    remaining=shards - len(outcomes),
+                )
+        if telemetry is not None and not resumed:
+            telemetry.scan_started(
+                scan=name,
+                epoch=epoch,
+                targets=target_count,
+                shards=shards,
+                pps=config.pps,
+            )
+
+        def flush() -> None:
+            if checkpoint_path is None:
+                return
+            snapshot = (
+                snapshot_telemetry(telemetry) if telemetry is not None else None
+            )
+            sink_offset = None
+            if sink is not None:
+                byte_offset = getattr(sink, "byte_offset", None)
+                if callable(byte_offset):
+                    sink_offset = byte_offset()
+            save_checkpoint(
+                ScanCheckpoint(
+                    name=name,
+                    epoch=epoch,
+                    shards=shards,
+                    scan_key=scan_key,
+                    target_count=target_count,
+                    fingerprint=fingerprint,
+                    spec=spec,
+                    outcomes=outcomes,
+                    sink_offset=sink_offset,
+                    telemetry=snapshot,
+                ),
+                checkpoint_path,
+            )
+
+        def complete(outcome: ShardOutcome) -> None:
+            outcomes[outcome.shard] = outcome
+            flush()
+            if telemetry is not None and checkpoint_path is not None:
+                telemetry.scan_checkpointed(
+                    scan=name,
+                    epoch=epoch,
+                    vtime=outcome.result.duration,
+                    shard=outcome.shard,
+                    completed=len(outcomes),
+                    remaining=shards - len(outcomes),
+                )
+            if chaos is not None and chaos.wants_interrupt(len(outcomes)):
+                self._interrupted = True
+
+        pending = [s for s in range(shards) if s not in outcomes]
+        attempts = {s: 0 for s in pending}
+        self._interrupted = False
+        round_index = 0
+        with self._signal_guard():
+            while pending:
+                failures = self._run_recovery_round(
+                    pending,
+                    target_list,
+                    config,
+                    name,
+                    epoch,
+                    collect_telemetry=collect,
+                    chaos=chaos,
+                    attempts=attempts,
+                    complete=complete,
+                )
+                if self._interrupted:
+                    flush()
+                    raise ScanInterrupted(
+                        checkpoint_path, len(outcomes), shards - len(outcomes)
+                    )
+                pending = []
+                for shard, error in failures:
+                    attempts[shard] += 1
+                    if attempts[shard] > self.max_shard_retries:
+                        raise ShardFailedError(
+                            shard, attempts[shard], error, checkpoint_path
+                        )
+                    if telemetry is not None:
+                        telemetry.shard_retried(
+                            scan=name,
+                            epoch=epoch,
+                            shard=shard,
+                            attempt=attempts[shard],
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    pending.append(shard)
+                if pending:
+                    delay = min(
+                        self.retry_backoff * (2**round_index),
+                        self.retry_backoff_cap,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+                    round_index += 1
+
+        merged = merge_shard_outcomes(
+            self.world,
+            outcomes.values(),
+            name=name,
+            epoch=epoch,
+            telemetry=telemetry,
+            targets_buffered=stream_buffered(target_list),
+            sink=sink,
+        )
+        if checkpoint_path is not None:
+            # The scan is whole; a leftover journal would make the next
+            # run of the same (name, epoch) resume into stale state.
+            checkpoint_path.unlink(missing_ok=True)
+        return merged
+
+    def _run_recovery_round(
+        self,
+        pending: list[int],
+        target_list: Sequence[int],
+        config: ScanConfig,
+        name: str,
+        epoch: int,
+        *,
+        collect_telemetry: bool,
+        chaos: ChaosEngine | None,
+        attempts: dict[int, int],
+        complete,
+    ) -> list[tuple[int, BaseException]]:
+        """Run one attempt of every pending shard; report failures.
+
+        Each round gets a *fresh* pool — a hard-crashed worker breaks a
+        process pool for good, so reuse is never safe.  ``complete`` is
+        called in the parent as each shard finishes (checkpoint + ops
+        telemetry); an interrupt request stops the round early, leaving
+        in-flight shards for a future resume.
+        """
+        mode = self._resolve_executor(len(target_list))
+        failures: list[tuple[int, BaseException]] = []
+        if mode == "serial":
+            for shard in pending:
+                if self._interrupted:
+                    break
+                try:
+                    outcome = scan_shard(
+                        self.world,
+                        config,
+                        target_list,
+                        name=name,
+                        epoch=epoch,
+                        shard=shard,
+                        shards=self.shards,
+                        collect_telemetry=collect_telemetry,
+                        chaos=chaos,
+                        attempt=attempts[shard],
+                    )
+                except Exception as error:
+                    failures.append((shard, error))
+                else:
+                    complete(outcome)
+            return failures
+        workers = self.max_workers or min(
+            self.shards, (os.cpu_count() or 1) if mode == "process" else self.shards
+        )
+        futures: dict[Future, int] = {}
+        if mode == "process":
+            payload: Sequence[int] | StreamSpec = target_list
+            if isinstance(target_list, TargetStream):
+                spec = target_list.spec()
+                if spec is not None:
+                    payload = spec
+            pool: Executor = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(self.world, payload),
+            )
+            for shard in pending:
+                future = pool.submit(
+                    _worker_scan_shard,
+                    config,
+                    name,
+                    epoch,
+                    shard,
+                    self.shards,
+                    collect_telemetry,
+                    chaos,
+                    attempts[shard],
+                )
+                futures[future] = shard
+        else:
+            pool = ThreadPoolExecutor(max_workers=workers)
+            for shard in pending:
+                future = pool.submit(
+                    scan_shard,
+                    self.world,
+                    config,
+                    target_list,
+                    name=name,
+                    epoch=epoch,
+                    shard=shard,
+                    shards=self.shards,
+                    collect_telemetry=collect_telemetry,
+                    chaos=chaos,
+                    attempt=attempts[shard],
+                )
+                futures[future] = shard
+        try:
+            outstanding = set(futures)
+            while outstanding and not self._interrupted:
+                # Short waits so an interrupt (signal handler or chaos
+                # plan) is honoured between completions, not only at the
+                # end of the round.
+                done, outstanding = wait(outstanding, timeout=0.2)
+                for future in done:
+                    if self._interrupted:
+                        # Stop mid-batch: unprocessed results are simply
+                        # re-run on resume, which stays byte-identical.
+                        break
+                    shard = futures[future]
+                    try:
+                        outcome = future.result()
+                    except Exception as error:
+                        # A dead worker surfaces as BrokenProcessPool on
+                        # every in-flight future; each affected shard is
+                        # recorded and retried on the next (fresh) pool.
+                        failures.append((shard, error))
+                    else:
+                        complete(outcome)
+        finally:
+            cancel = self._interrupted
+            pool.shutdown(wait=not cancel, cancel_futures=cancel)
+        return failures

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator, NamedTuple
 
 from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix
 from ..addr.permutation import CyclicPermutation
+from ..atomicio import partial_path, replace_partial
 from .records import ScanRecord, record_csv_row, record_jsonl_line
 
 if TYPE_CHECKING:  # specs rebuild streams from a world; ducks otherwise
@@ -493,6 +494,12 @@ class RecordSink:
     underlying file handle.  Sinks count what they emit so callers can
     report totals without buffering records.  Sinks are context
     managers: ``with JsonlSink(path) as sink: scanner.scan(..., sink=sink)``.
+
+    Crash safety: file-backed sinks stage their output at
+    ``<dest>.partial`` and promote it to the final name only on a clean
+    ``close()`` — the final path never holds a torn file.  ``abort()``
+    (called by ``__exit__`` when the scan raised) releases the handle but
+    leaves the clearly-labelled partial file behind for post-mortems.
     """
 
     emitted: int = 0
@@ -501,13 +508,24 @@ class RecordSink:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Flush and release resources (default: nothing to do)."""
+        """Flush, release resources, and promote staged output."""
+
+    def abort(self) -> None:
+        """Release resources *without* promoting staged output."""
+        self.close()
+
+    def byte_offset(self) -> int | None:
+        """Bytes flushed so far, for file-backed sinks (else ``None``)."""
+        return None
 
     def __enter__(self) -> "RecordSink":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 class MemorySink(RecordSink):
@@ -531,33 +549,55 @@ class JsonlSink(RecordSink):
 
     The bytes written are identical to ``ScanResult.write_jsonl`` on the
     buffered records — the streaming mode changes memory use, never
-    output (pinned by the determinism tests).
+    output (pinned by the determinism tests).  Path destinations stage at
+    ``<dest>.partial`` and promote atomically on clean close.
     """
 
-    __slots__ = ("emitted", "_handle", "_owns")
+    __slots__ = ("emitted", "_handle", "_owns", "_dest", "_bytes")
 
     def __init__(self, destination) -> None:
         self.emitted = 0
+        self._bytes = 0
         if isinstance(destination, (str, Path)):
-            self._handle = open(destination, "w", encoding="utf-8")
+            self._dest = Path(destination)
+            self._handle = open(
+                partial_path(self._dest), "w", encoding="utf-8"
+            )
             self._owns = True
         else:
+            self._dest = None
             self._handle = destination
             self._owns = False
 
     def emit(self, record: ScanRecord) -> None:
-        self._handle.write(record_jsonl_line(record))
+        line = record_jsonl_line(record)
+        self._handle.write(line)
+        # Text-mode tell() returns opaque cookies; count encoded bytes
+        # ourselves so checkpoints can journal a real file offset.
+        self._bytes += len(line.encode("utf-8"))
         self.emitted += 1
 
+    def byte_offset(self) -> int:
+        return self._bytes
+
     def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+            replace_partial(self._dest)
+
+    def abort(self) -> None:
         if self._owns and not self._handle.closed:
             self._handle.close()
 
 
 class CsvSink(RecordSink):
-    """Stream records to CSV, byte-identical to ``ScanResult.write_csv``."""
+    """Stream records to CSV, byte-identical to ``ScanResult.write_csv``.
 
-    __slots__ = ("emitted", "_handle", "_writer", "_owns")
+    Path destinations stage at ``<dest>.partial`` and promote atomically
+    on clean close, like :class:`JsonlSink`.
+    """
+
+    __slots__ = ("emitted", "_handle", "_writer", "_owns", "_dest", "_counter")
 
     HEADER = ("target", "source", "icmp_type", "code", "count", "time")
 
@@ -566,21 +606,49 @@ class CsvSink(RecordSink):
 
         self.emitted = 0
         if isinstance(destination, (str, Path)):
-            self._handle = open(destination, "w", encoding="utf-8", newline="")
+            self._dest = Path(destination)
+            self._handle = open(
+                partial_path(self._dest), "w", encoding="utf-8", newline=""
+            )
             self._owns = True
         else:
+            self._dest = None
             self._handle = destination
             self._owns = False
-        self._writer = csv.writer(self._handle)
+        self._counter = _ByteCountingWriter(self._handle)
+        self._writer = csv.writer(self._counter)
         self._writer.writerow(self.HEADER)
 
     def emit(self, record: ScanRecord) -> None:
         self._writer.writerow(record_csv_row(record))
         self.emitted += 1
 
+    def byte_offset(self) -> int:
+        return self._counter.bytes_written
+
     def close(self) -> None:
         if self._owns and not self._handle.closed:
             self._handle.close()
+            replace_partial(self._dest)
+
+    def abort(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+
+
+class _ByteCountingWriter:
+    """A write() adapter that counts encoded bytes as they pass through
+    (``csv.writer`` only needs ``write``)."""
+
+    __slots__ = ("_handle", "bytes_written")
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+        self.bytes_written = 0
+
+    def write(self, text: str):
+        self.bytes_written += len(text.encode("utf-8"))
+        return self._handle.write(text)
 
 
 class CountingSink(RecordSink):
@@ -649,6 +717,15 @@ class TeeSink(RecordSink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+    def abort(self) -> None:
+        for sink in self.sinks:
+            sink.abort()
+
+    def byte_offset(self) -> int | None:
+        offsets = [sink.byte_offset() for sink in self.sinks]
+        known = [offset for offset in offsets if offset is not None]
+        return sum(known) if known else None
 
 
 __all__.append("TeeSink")

@@ -26,6 +26,15 @@ Event types and their extra fields:
 * ``scan_finished``     — ``sent``, ``records``, ``lost``, ``loops``,
   ``duration``, ``stats`` (the final ``EngineStats`` counters)
 
+Operational (crash-recovery) event types, emitted on the facade's
+*separate* ops stream so the main stream stays byte-identical between a
+resumed scan and an uninterrupted one:
+
+* ``scan_checkpointed`` — ``shard`` (just completed), ``completed``,
+  ``remaining``
+* ``shard_retried``     — ``shard``, ``attempt``, ``error``
+* ``scan_resumed``      — ``completed``, ``remaining``
+
 Serialisation is deterministic by construction: keys sort, separators are
 fixed, and every value is derived from the virtual clock and seeded
 simulation state — two runs of the same configuration produce
@@ -38,6 +47,8 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from ..atomicio import atomic_write_text
+
 SCHEMA_VERSION = 1
 
 EVENT_TYPES = (
@@ -47,6 +58,10 @@ EVENT_TYPES = (
     "rate_limit_engaged",
     "shard_finished",
     "scan_finished",
+    # operational (crash-recovery) stream
+    "scan_checkpointed",
+    "shard_retried",
+    "scan_resumed",
 )
 
 __all__ = [
@@ -104,4 +119,4 @@ def events_to_jsonl(events: Iterable[dict]) -> str:
 
 
 def write_events(events: Iterable[dict], path: str | Path) -> None:
-    Path(path).write_text(events_to_jsonl(events), encoding="utf-8")
+    atomic_write_text(Path(path), events_to_jsonl(events))

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
+from ..atomicio import atomic_write_text
 from .events import body_sort_key, events_to_jsonl, make_event, write_events
 from .metrics import MetricsRegistry
 
@@ -42,9 +43,13 @@ if TYPE_CHECKING:  # telemetry stays import-light; scans are duck-typed
 
 __all__ = [
     "AMPLIFICATION_EDGES",
+    "CHECKPOINTS_TOTAL",
     "ENGINE_STAT_COUNTERS",
     "RECORDS_BUFFERED_GAUGE",
     "REPLY_VTIME_EDGES",
+    "RESUMES_TOTAL",
+    "SHARDS_SALVAGED_TOTAL",
+    "SHARD_RETRIES_TOTAL",
     "TARGETS_BUFFERED_GAUGE",
     "HotPathCollector",
     "ScanTelemetry",
@@ -101,6 +106,15 @@ LAST_DURATION_GAUGE = "sra_scan_last_duration_seconds"
 # modes, everything else is byte-identical.
 TARGETS_BUFFERED_GAUGE = "sra_scan_targets_buffered"
 RECORDS_BUFFERED_GAUGE = "sra_scan_records_buffered"
+# Operational (crash-recovery) counters.  These live on the facade's
+# separate ops registry: checkpoints, retries, and resumes are properties
+# of *this process's* execution, not of the scan's deterministic outcome,
+# so keeping them out of the main registry is what lets a resumed run's
+# Prometheus export stay byte-identical to an uninterrupted run's.
+CHECKPOINTS_TOTAL = "sra_scan_checkpoints_total"
+SHARD_RETRIES_TOTAL = "sra_scan_shard_retries_total"
+RESUMES_TOTAL = "sra_scan_resumes_total"
+SHARDS_SALVAGED_TOTAL = "sra_scan_shards_salvaged_total"
 
 
 class HotPathCollector:
@@ -297,12 +311,22 @@ class ScanTelemetry:
     order with a global ``seq``, and the registry accumulates counters
     across scans.  ``sra-scan --telemetry-out/--metrics-out`` and
     ``sra-repro --telemetry-out`` are thin wrappers over the two sinks.
+
+    Crash-recovery machinery reports on a *second* channel
+    (``ops_events`` / ``ops_registry``): checkpoint, retry, and resume
+    events describe how this particular process execution went, not what
+    the scan deterministically produced, so they must never perturb the
+    main stream — the byte-identity contract between resumed and
+    uninterrupted runs depends on it.
     """
 
     def __init__(self) -> None:
         self.registry = MetricsRegistry()
         self.events: list[dict] = []
         self._seq = 0
+        self.ops_registry = MetricsRegistry()
+        self.ops_events: list[dict] = []
+        self._ops_seq = 0
 
     # ------------------------------------------------------------------ #
     # event emission
@@ -419,6 +443,92 @@ class ScanTelemetry:
         ).set(len(result.records))
 
     # ------------------------------------------------------------------ #
+    # operational (crash-recovery) channel
+    # ------------------------------------------------------------------ #
+
+    def emit_ops(self, event: dict) -> dict:
+        """Append one event to the ops stream (its own ``seq`` space)."""
+        event["seq"] = self._ops_seq
+        self._ops_seq += 1
+        self.ops_events.append(event)
+        return event
+
+    def scan_checkpointed(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        vtime: float,
+        shard: int,
+        completed: int,
+        remaining: int,
+    ) -> None:
+        self.emit_ops(
+            make_event(
+                "scan_checkpointed",
+                scan=scan,
+                epoch=epoch,
+                vtime=vtime,
+                shard=shard,
+                completed=completed,
+                remaining=remaining,
+            )
+        )
+        self.ops_registry.counter(
+            CHECKPOINTS_TOTAL, "scan checkpoints written"
+        ).inc()
+
+    def shard_retried(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        shard: int,
+        attempt: int,
+        error: str,
+    ) -> None:
+        self.emit_ops(
+            make_event(
+                "shard_retried",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                shard=shard,
+                attempt=attempt,
+                error=error,
+            )
+        )
+        self.ops_registry.counter(
+            SHARD_RETRIES_TOTAL, "shard attempts retried after failure"
+        ).inc()
+
+    def scan_resumed(
+        self,
+        *,
+        scan: str,
+        epoch: int,
+        completed: int,
+        remaining: int,
+    ) -> None:
+        self.emit_ops(
+            make_event(
+                "scan_resumed",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                completed=completed,
+                remaining=remaining,
+            )
+        )
+        self.ops_registry.counter(
+            RESUMES_TOTAL, "scans resumed from a checkpoint"
+        ).inc()
+        self.ops_registry.counter(
+            SHARDS_SALVAGED_TOTAL,
+            "completed shards salvaged from checkpoints instead of re-run",
+        ).inc(completed)
+
+    # ------------------------------------------------------------------ #
     # registry plumbing
     # ------------------------------------------------------------------ #
 
@@ -435,8 +545,17 @@ class ScanTelemetry:
     def write_jsonl(self, path: str | Path) -> None:
         write_events(self.events, path)
 
+    def to_ops_jsonl(self) -> str:
+        return events_to_jsonl(self.ops_events)
+
+    def write_ops_jsonl(self, path: str | Path) -> None:
+        write_events(self.ops_events, path)
+
     def to_prometheus(self) -> str:
         return self.registry.to_prometheus()
 
     def write_prometheus(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_prometheus(), encoding="utf-8")
+        atomic_write_text(Path(path), self.to_prometheus())
+
+    def to_ops_prometheus(self) -> str:
+        return self.ops_registry.to_prometheus()

@@ -1,0 +1,359 @@
+"""The scan checkpoint journal: round-trips, integrity, and exit codes.
+
+The journal's contract has three parts, each pinned here:
+
+* a saved checkpoint loads back to an equal checkpoint (including
+  hypothesis-generated identity fields and real shard outcomes);
+* any damage — truncation, bit-flips, foreign files, schema skew, or a
+  journal from a different scan — raises a typed ``CheckpointError``
+  at load/validate time, never a partially-valid checkpoint;
+* the CLIs surface those errors as exit code 4 with a one-line stderr
+  message and no traceback.
+"""
+
+import random
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.faults import truncate_tail
+from repro.scanner.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointSchemaError,
+    ScanCheckpoint,
+    config_key,
+    load_checkpoint,
+    restore_telemetry,
+    save_checkpoint,
+    snapshot_telemetry,
+    target_fingerprint,
+)
+from repro.scanner.sharded import scan_shard
+from repro.scanner.targets import bgp_plain_targets
+from repro.scanner.zmapv6 import ScanConfig
+from repro.telemetry.scan import ScanTelemetry
+
+
+def make_checkpoint(**overrides) -> ScanCheckpoint:
+    fields = dict(
+        name="survey",
+        epoch=3,
+        shards=4,
+        scan_key=config_key(ScanConfig(pps=50_000.0, seed=9)),
+        target_count=1_000,
+        fingerprint=0xDEADBEEF,
+    )
+    fields.update(overrides)
+    return ScanCheckpoint(**fields)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        checkpoint = make_checkpoint()
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert loaded == checkpoint
+
+    def test_round_trip_with_real_outcomes(self, tiny_world, tmp_path):
+        targets = bgp_plain_targets(tiny_world.bgp, max_targets=300)
+        config = ScanConfig(pps=100_000.0, seed=4)
+        outcome = scan_shard(
+            tiny_world,
+            config,
+            targets,
+            name="rt",
+            epoch=1,
+            shard=0,
+            shards=2,
+        )
+        checkpoint = make_checkpoint(
+            name="rt",
+            epoch=1,
+            shards=2,
+            scan_key=config_key(config),
+            target_count=len(targets),
+            fingerprint=target_fingerprint(targets),
+            outcomes={0: outcome},
+            sink_offset=1234,
+        )
+        path = tmp_path / "rt.ckpt"
+        save_checkpoint(checkpoint, path)
+        loaded = load_checkpoint(path)
+        assert loaded.completed_shards == [0]
+        assert loaded.remaining_shards == [1]
+        assert loaded.sink_offset == 1234
+        got = loaded.outcomes[0]
+        assert got.result.records == outcome.result.records
+        assert got.checks == outcome.checks
+        assert got.stats == outcome.stats
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        name=st.text(min_size=1, max_size=30),
+        epoch=st.integers(min_value=0, max_value=10_000),
+        shards=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        pps=st.floats(
+            min_value=1.0, max_value=1e7, allow_nan=False, allow_infinity=False
+        ),
+        target_count=st.integers(min_value=0, max_value=2**40),
+        fingerprint=st.integers(min_value=0, max_value=2**32 - 1),
+        sink_offset=st.none() | st.integers(min_value=0, max_value=2**48),
+    )
+    def test_identity_fields_round_trip(
+        self,
+        tmp_path_factory,
+        name,
+        epoch,
+        shards,
+        seed,
+        pps,
+        target_count,
+        fingerprint,
+        sink_offset,
+    ):
+        path = tmp_path_factory.mktemp("hyp") / "x.ckpt"
+        checkpoint = ScanCheckpoint(
+            name=name,
+            epoch=epoch,
+            shards=shards,
+            scan_key=config_key(ScanConfig(pps=pps, seed=seed)),
+            target_count=target_count,
+            fingerprint=fingerprint,
+            sink_offset=sink_offset,
+        )
+        save_checkpoint(checkpoint, path)
+        assert load_checkpoint(path) == checkpoint
+
+    def test_save_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        save_checkpoint(make_checkpoint(), path)
+        save_checkpoint(make_checkpoint(epoch=4), path)
+        assert [p.name for p in tmp_path.iterdir()] == ["scan.ckpt"]
+        assert load_checkpoint(path).epoch == 4
+
+
+class TestTelemetrySnapshot:
+    def test_snapshot_restore_round_trip(self):
+        telemetry = ScanTelemetry()
+        telemetry.scan_started(
+            scan="s", epoch=0, targets=10, shards=2, pps=100.0
+        )
+        telemetry.scan_checkpointed(
+            scan="s", epoch=0, vtime=1.0, shard=0, completed=1, remaining=1
+        )
+        snapshot = snapshot_telemetry(telemetry)
+        restored = ScanTelemetry()
+        restore_telemetry(restored, snapshot)
+        assert restored.to_jsonl() == telemetry.to_jsonl()
+        assert restored.to_prometheus() == telemetry.to_prometheus()
+        assert restored.to_ops_jsonl() == telemetry.to_ops_jsonl()
+        # Emission continues at the exact next sequence number.
+        restored.scan_started(
+            scan="t", epoch=1, targets=5, shards=1, pps=50.0
+        )
+        telemetry.scan_started(
+            scan="t", epoch=1, targets=5, shards=1, pps=50.0
+        )
+        assert restored.to_jsonl() == telemetry.to_jsonl()
+
+
+class TestCorruptionDetection:
+    def _saved(self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        save_checkpoint(make_checkpoint(), path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.ckpt")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"definitely not a checkpoint journal")
+        with pytest.raises(CheckpointCorruptError, match="not a scan checkpoint"):
+            load_checkpoint(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_truncated_tail(self, tmp_path):
+        path = self._saved(tmp_path)
+        truncate_tail(path, 7)
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            load_checkpoint(path)
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path = self._saved(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruptError, match="CRC-32"):
+            load_checkpoint(path)
+
+    def test_schema_skew(self, tmp_path):
+        path = self._saved(tmp_path)
+        raw = bytearray(path.read_bytes())
+        struct.pack_into(">I", raw, 8, CHECKPOINT_SCHEMA_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointSchemaError, match="schema"):
+            load_checkpoint(path)
+
+    def test_wrong_payload_type(self, tmp_path):
+        import pickle
+
+        payload = pickle.dumps({"not": "a checkpoint"})
+        header = b"SRACKPT\n" + struct.pack(
+            ">IQI",
+            CHECKPOINT_SCHEMA_VERSION,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        path = tmp_path / "wrong.ckpt"
+        path.write_bytes(header + payload)
+        with pytest.raises(CheckpointCorruptError, match="not a ScanCheckpoint"):
+            load_checkpoint(path)
+
+
+class TestResumeValidation:
+    @pytest.mark.parametrize(
+        "override, label",
+        [
+            (dict(name="other"), "scan name"),
+            (dict(epoch=99), "epoch"),
+            (dict(shards=8), "shard count"),
+            (dict(scan_key=config_key(ScanConfig(seed=1))), "scan config"),
+            (dict(target_count=7), "target count"),
+            (dict(fingerprint=1), "target fingerprint"),
+        ],
+    )
+    def test_mismatch_raises(self, override, label):
+        checkpoint = make_checkpoint()
+        current = dict(
+            name=checkpoint.name,
+            epoch=checkpoint.epoch,
+            shards=checkpoint.shards,
+            scan_key=checkpoint.scan_key,
+            target_count=checkpoint.target_count,
+            fingerprint=checkpoint.fingerprint,
+        )
+        current.update(override)
+        with pytest.raises(CheckpointMismatchError, match=label):
+            checkpoint.validate_resume(**current)
+
+    def test_matching_scan_passes(self):
+        checkpoint = make_checkpoint()
+        checkpoint.validate_resume(
+            name=checkpoint.name,
+            epoch=checkpoint.epoch,
+            shards=checkpoint.shards,
+            scan_key=checkpoint.scan_key,
+            target_count=checkpoint.target_count,
+            fingerprint=checkpoint.fingerprint,
+        )
+
+    def test_out_of_range_shard_is_corrupt(self):
+        checkpoint = make_checkpoint(outcomes={9: object()})
+        with pytest.raises(CheckpointCorruptError, match="outside"):
+            checkpoint.validate_resume(
+                name=checkpoint.name,
+                epoch=checkpoint.epoch,
+                shards=checkpoint.shards,
+                scan_key=checkpoint.scan_key,
+                target_count=checkpoint.target_count,
+                fingerprint=checkpoint.fingerprint,
+            )
+
+
+class TestFingerprint:
+    def test_detects_different_targets(self):
+        targets = list(range(100))
+        assert target_fingerprint(targets) == target_fingerprint(list(targets))
+        assert target_fingerprint(targets) != target_fingerprint(targets[:-1])
+        shuffled = list(targets)
+        random.Random(0).shuffle(shuffled)
+        assert target_fingerprint(targets) != target_fingerprint(shuffled)
+
+    def test_empty_targets(self):
+        assert target_fingerprint([]) == target_fingerprint([])
+
+
+class TestCLIExitCodes:
+    """Corrupt/foreign journals must exit 4 with one clear line."""
+
+    def _scan_args(self, checkpoint):
+        return [
+            "--seed",
+            "7",
+            "--input-set",
+            "bgp-plain",
+            "--max-targets",
+            "60",
+            "--checkpoint",
+            str(checkpoint),
+            "--resume",
+            "--no-alias-filter",
+        ]
+
+    def test_corrupt_checkpoint_exits_4(self, tmp_path, capsys):
+        from repro.scanner.cli import main
+
+        path = tmp_path / "bad.ckpt"
+        path.write_bytes(b"SRACKPT\n" + b"\x00" * 4)
+        code = main(self._scan_args(path))
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "sra-scan:" in captured.err
+        assert "Traceback" not in captured.err
+        assert captured.err.count("\n") == 1
+
+    def test_truncated_checkpoint_exits_4(self, tmp_path, capsys):
+        from repro.scanner.cli import main
+
+        path = tmp_path / "torn.ckpt"
+        save_checkpoint(make_checkpoint(), path)
+        truncate_tail(path, 5)
+        code = main(self._scan_args(path))
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "truncated" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_mismatched_checkpoint_exits_4(self, tmp_path, capsys):
+        from repro.scanner.cli import main
+
+        path = tmp_path / "foreign.ckpt"
+        save_checkpoint(make_checkpoint(name="someone-elses-scan"), path)
+        code = main(self._scan_args(path))
+        captured = capsys.readouterr()
+        assert code == 4
+        assert "mismatch" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        from repro.scanner.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_missing_checkpoint_starts_fresh(self, tmp_path):
+        """--resume with no journal on disk is a fresh start, not an error."""
+        from repro.scanner.cli import main
+
+        path = tmp_path / "never-written.ckpt"
+        code = main(self._scan_args(path))
+        assert code == 0
+        # The journal is deleted after a successful merge.
+        assert not path.exists()

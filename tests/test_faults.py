@@ -1,0 +1,359 @@
+"""Fault injection: the recovery paths, exercised deterministically.
+
+Every failure mode the runner claims to survive is staged here with a
+:class:`~repro.netsim.faults.ChaosEngine` and checked against a no-fault
+run of the same scan: crashes at an exact probe index, retry budgets,
+broken process pools (hard ``os._exit`` crashes), operator interrupts
+with salvage, straggler shards, and sink write failures.  Fault draws
+are keyed hashes of (seed, shard, attempt), so every one of these tests
+reproduces from its seed alone.
+"""
+
+import random
+
+import pytest
+
+from repro.netsim.faults import (
+    HARD_CRASH_EXIT,
+    ChaosEngine,
+    CrashingSequence,
+    FailingSink,
+    FaultPlan,
+    InjectedCrash,
+    InjectedSinkError,
+    truncate_tail,
+)
+from repro.scanner.sharded import (
+    ScanInterrupted,
+    ShardedScanRunner,
+    ShardFailedError,
+)
+from repro.scanner.stream import MemorySink
+from repro.scanner.targets import bgp_slash48_targets
+from repro.scanner.zmapv6 import ScanConfig
+from repro.telemetry.scan import ScanTelemetry
+
+CONFIG = ScanConfig(pps=200_000.0, seed=5)
+
+
+@pytest.fixture(scope="module")
+def fault_targets(tiny_world):
+    return list(
+        bgp_slash48_targets(
+            tiny_world.bgp,
+            max_per_prefix=8,
+            max_targets=1_200,
+            rng=random.Random(11),
+        )
+    )
+
+
+def run_scan(world, targets, *, shards, chaos=None, retries=0, **kwargs):
+    telemetry = ScanTelemetry()
+    runner = ShardedScanRunner(
+        world,
+        shards=shards,
+        executor=kwargs.pop("executor", "thread"),
+        max_shard_retries=retries,
+        retry_backoff=0.0,
+    )
+    result = runner.scan(
+        targets,
+        CONFIG,
+        name="faulted",
+        epoch=1,
+        telemetry=telemetry,
+        chaos=chaos,
+        **kwargs,
+    )
+    return result, telemetry
+
+
+class TestFaultPlanUnits:
+    def test_empty_plan_injects_nothing(self):
+        engine = ChaosEngine()
+        targets = [1, 2, 3]
+        assert engine.wrap_targets(targets, shard=0, attempt=0) is targets
+        assert engine.wrap_sink(None) is None
+        sink = MemorySink()
+        assert engine.wrap_sink(sink) is sink
+        assert not engine.wants_interrupt(100)
+
+    def test_planned_crash_is_per_attempt(self):
+        engine = ChaosEngine(
+            plan=FaultPlan(crash_shard=2, crash_attempts=2)
+        )
+        assert engine.should_crash(2, 0)
+        assert engine.should_crash(2, 1)
+        assert not engine.should_crash(2, 2)
+        assert not engine.should_crash(1, 0)
+
+    def test_stochastic_crashes_are_deterministic(self):
+        plan = FaultPlan(seed=3, crash_probability=0.5)
+        first = [
+            ChaosEngine(plan=plan).should_crash(shard, attempt)
+            for shard in range(8)
+            for attempt in range(3)
+        ]
+        second = [
+            ChaosEngine(plan=plan).should_crash(shard, attempt)
+            for shard in range(8)
+            for attempt in range(3)
+        ]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_crashing_sequence_counts_accesses(self):
+        sequence = CrashingSequence([10, 20, 30, 40], at_probe=2, hard=False)
+        assert len(sequence) == 4
+        assert sequence[0] == 10
+        assert sequence[3] == 40
+        with pytest.raises(InjectedCrash, match="probe access"):
+            sequence[1]
+
+    def test_failing_sink_fails_after_n(self):
+        inner = MemorySink()
+        sink = FailingSink(inner, fail_after=2)
+        sink.emit("a")
+        sink.emit("b")
+        assert sink.emitted == 2
+        with pytest.raises(InjectedSinkError):
+            sink.emit("c")
+        assert inner.records == ["a", "b"]
+
+    def test_truncate_tail(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_bytes(b"0123456789")
+        truncate_tail(path, 4)
+        assert path.read_bytes() == b"012345"
+        truncate_tail(path, 100)
+        assert path.read_bytes() == b""
+
+    def test_hard_crash_exit_code_is_distinctive(self):
+        assert HARD_CRASH_EXIT not in (0, 1, 2)
+
+
+class TestCrashRetry:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_crashed_shard_retries_transparently(
+        self, tiny_world, fault_targets, executor
+    ):
+        clean, clean_telemetry = run_scan(
+            tiny_world, fault_targets, shards=4, retries=2, executor=executor
+        )
+        chaos = ChaosEngine(
+            plan=FaultPlan(crash_shard=2, crash_at_probe=25, crash_attempts=2)
+        )
+        faulted, telemetry = run_scan(
+            tiny_world,
+            fault_targets,
+            shards=4,
+            retries=2,
+            executor=executor,
+            chaos=chaos,
+        )
+        assert faulted.records == clean.records
+        assert faulted.engine_stats == clean.engine_stats
+        # The deterministic channel is fault-invariant...
+        assert telemetry.to_jsonl() == clean_telemetry.to_jsonl()
+        assert telemetry.to_prometheus() == clean_telemetry.to_prometheus()
+        # ...and the ops channel records exactly the injected retries.
+        retried = [
+            event
+            for event in telemetry.ops_events
+            if event["event"] == "shard_retried"
+        ]
+        assert [event["shard"] for event in retried] == [2, 2]
+        assert [event["attempt"] for event in retried] == [1, 2]
+        assert all("InjectedCrash" in event["error"] for event in retried)
+
+    def test_retry_budget_exhaustion_raises(self, tiny_world, fault_targets):
+        chaos = ChaosEngine(
+            plan=FaultPlan(crash_shard=1, crash_at_probe=5, crash_attempts=99)
+        )
+        with pytest.raises(ShardFailedError, match="shard 1 failed 2"):
+            run_scan(
+                tiny_world, fault_targets, shards=4, retries=1, chaos=chaos
+            )
+
+    def test_zero_retry_budget_fails_fast(self, tiny_world, fault_targets):
+        chaos = ChaosEngine(plan=FaultPlan(crash_shard=0, crash_at_probe=1))
+        with pytest.raises(ShardFailedError) as excinfo:
+            run_scan(tiny_world, fault_targets, shards=2, retries=0, chaos=chaos)
+        assert excinfo.value.shard == 0
+        assert isinstance(excinfo.value.error, InjectedCrash)
+
+    def test_stochastic_crashes_recover(self, tiny_world, fault_targets):
+        clean, _ = run_scan(tiny_world, fault_targets, shards=4, retries=3)
+        # seed=4 fates shards 0/1/2 to crash on their first attempt and
+        # every shard to succeed within the retry budget (keyed hashing
+        # makes this a fixed property of the seed, not a flaky draw).
+        chaos = ChaosEngine(
+            plan=FaultPlan(seed=4, crash_probability=0.45)
+        )
+        faulted, telemetry = run_scan(
+            tiny_world, fault_targets, shards=4, retries=3, chaos=chaos
+        )
+        assert faulted.records == clean.records
+        # seed=7 at p=0.45 fates at least one (shard, attempt) to crash.
+        assert any(
+            event["event"] == "shard_retried"
+            for event in telemetry.ops_events
+        )
+
+    def test_slow_shards_change_nothing(self, tiny_world, fault_targets):
+        clean, _ = run_scan(tiny_world, fault_targets, shards=4)
+        chaos = ChaosEngine(
+            plan=FaultPlan(slow_shards={0: 0.05, 3: 0.1})
+        )
+        slowed, _ = run_scan(
+            tiny_world, fault_targets, shards=4, retries=1, chaos=chaos
+        )
+        assert slowed.records == clean.records
+        assert slowed.engine_stats == clean.engine_stats
+
+
+class TestHardCrash:
+    def test_hard_crash_breaks_pool_and_recovers(
+        self, tiny_world, fault_targets
+    ):
+        """A worker dying mid-shard (os._exit, as a kill -9 would) breaks
+        the pool; the next round's fresh pool completes the scan."""
+        clean, _ = run_scan(
+            tiny_world, fault_targets, shards=2, retries=2, executor="process"
+        )
+        chaos = ChaosEngine(
+            plan=FaultPlan(
+                crash_shard=1, crash_at_probe=10, crash_attempts=1, hard=True
+            )
+        )
+        faulted, telemetry = run_scan(
+            tiny_world,
+            fault_targets,
+            shards=2,
+            retries=2,
+            executor="process",
+            chaos=chaos,
+        )
+        assert faulted.records == clean.records
+        assert faulted.engine_stats == clean.engine_stats
+        # Collateral shards on the broken pool may retry too; the planned
+        # victim must be among them.
+        retried = {
+            event["shard"]
+            for event in telemetry.ops_events
+            if event["event"] == "shard_retried"
+        }
+        assert 1 in retried
+
+
+class TestInterruptSalvage:
+    def test_interrupt_salvages_completed_shards(
+        self, tiny_world, fault_targets, tmp_path
+    ):
+        from repro.scanner.checkpoint import load_checkpoint
+
+        checkpoint = tmp_path / "salvage.ckpt"
+        telemetry = ScanTelemetry()
+        runner = ShardedScanRunner(
+            tiny_world, shards=4, executor="thread", retry_backoff=0.0
+        )
+        chaos = ChaosEngine(plan=FaultPlan(interrupt_after_shards=2))
+        with pytest.raises(ScanInterrupted) as excinfo:
+            runner.scan(
+                fault_targets,
+                CONFIG,
+                name="salvage",
+                epoch=1,
+                telemetry=telemetry,
+                checkpoint=checkpoint,
+                chaos=chaos,
+            )
+        interrupted = excinfo.value
+        assert interrupted.checkpoint_path == checkpoint
+        assert interrupted.completed >= 2
+        assert interrupted.remaining == 4 - interrupted.completed
+        journal = load_checkpoint(checkpoint)
+        assert journal.completed_shards == sorted(
+            event["shard"]
+            for event in telemetry.ops_events
+            if event["event"] == "scan_checkpointed"
+        )
+        assert len(journal.remaining_shards) == interrupted.remaining
+
+    def test_request_interrupt_before_scan(self, tiny_world, fault_targets):
+        """A pre-set interrupt flag is cleared at scan start, not obeyed."""
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="thread")
+        runner.request_interrupt()
+        result = runner.scan(
+            fault_targets,
+            CONFIG,
+            name="fresh",
+            epoch=1,
+            chaos=ChaosEngine(),
+        )
+        assert result.sent == len(fault_targets)
+
+    def test_salvage_counter_on_resume(self, tiny_world, fault_targets, tmp_path):
+        checkpoint = tmp_path / "count.ckpt"
+        runner = ShardedScanRunner(
+            tiny_world, shards=4, executor="thread", retry_backoff=0.0
+        )
+        with pytest.raises(ScanInterrupted):
+            runner.scan(
+                fault_targets,
+                CONFIG,
+                name="count",
+                epoch=1,
+                telemetry=ScanTelemetry(),
+                checkpoint=checkpoint,
+                chaos=ChaosEngine(plan=FaultPlan(interrupt_after_shards=2)),
+            )
+        telemetry = ScanTelemetry()
+        ShardedScanRunner(tiny_world, shards=4, executor="thread").scan(
+            fault_targets,
+            CONFIG,
+            name="count",
+            epoch=1,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        resumed = [
+            event
+            for event in telemetry.ops_events
+            if event["event"] == "scan_resumed"
+        ]
+        assert len(resumed) == 1
+        assert resumed[0]["completed"] >= 2
+        metrics = telemetry.to_ops_prometheus()
+        assert "sra_scan_resumes_total 1" in metrics
+        assert "sra_scan_shards_salvaged_total" in metrics
+
+
+class TestSinkFaults:
+    def test_sink_failure_surfaces_and_aborts_cleanly(
+        self, tiny_world, fault_targets, tmp_path
+    ):
+        from repro.scanner.stream import JsonlSink
+
+        path = tmp_path / "out.jsonl"
+        sink = JsonlSink(path)
+        chaos = ChaosEngine(plan=FaultPlan(sink_fail_after=5))
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="thread")
+        with pytest.raises(InjectedSinkError):
+            try:
+                runner.scan(
+                    fault_targets,
+                    CONFIG,
+                    name="sinkfail",
+                    epoch=1,
+                    sink=chaos.wrap_sink(sink),
+                    chaos=chaos,
+                )
+            finally:
+                sink.abort()
+        # The destination was never promoted: only the .partial remains.
+        assert not path.exists()
+        partial = path.with_name(path.name + ".partial")
+        assert partial.exists()

@@ -496,3 +496,194 @@ class TestStreamVsListEquivalence:
             sink=MemorySink(),
         )
         assert sharded.to_prometheus() == serial.to_prometheus()
+
+
+class TestCrashResumeDeterminism:
+    """Kill-at-shard-N → resume must equal the uninterrupted run, byte
+    for byte: merged records, Prometheus export, telemetry JSONL, and
+    streamed JSONL output files.
+
+    The interrupted run uses a :class:`ChaosEngine` to self-interrupt
+    mid-scan (exactly what the SIGINT/SIGTERM handlers do) and salvages
+    completed shards into a checkpoint; the resume re-runs only the
+    missing index windows.  The baseline runs with checkpointing enabled
+    too — recovery mode is one code path at every shard count, so this
+    also pins "journal on, never interrupted" against "journal on,
+    killed, resumed".
+    """
+
+    CFG = dict(pps=200_000.0, seed=5, progress_every=500)
+    EPOCH = 2
+
+    def _runner(self, world, shards):
+        return ShardedScanRunner(
+            world, shards=shards, executor="thread", retry_backoff=0.0
+        )
+
+    def _scan(self, world, targets, *, shards, checkpoint, sink_path=None,
+              resume=False, chaos=None):
+        from repro.scanner.stream import JsonlSink
+
+        telemetry = ScanTelemetry()
+        sink = JsonlSink(sink_path) if sink_path else None
+        try:
+            result = self._runner(world, shards).scan(
+                targets,
+                ScanConfig(**self.CFG),
+                name="scan",
+                epoch=self.EPOCH,
+                telemetry=telemetry,
+                sink=sink,
+                checkpoint=checkpoint,
+                resume=resume,
+                chaos=chaos,
+            )
+        except BaseException:
+            if sink is not None:
+                sink.abort()
+            raise
+        if sink is not None:
+            sink.close()
+        return result, telemetry
+
+    @pytest.mark.parametrize("shards", [1, 4, 8])
+    def test_resume_is_byte_identical(
+        self, tiny_world, stress_targets, tmp_path, shards
+    ):
+        from repro.netsim.faults import ChaosEngine, FaultPlan
+        from repro.scanner.sharded import ScanInterrupted
+
+        checkpoint = tmp_path / f"scan-{shards}.ckpt"
+        baseline, base_telemetry = self._scan(
+            tiny_world,
+            stress_targets,
+            shards=shards,
+            checkpoint=checkpoint,
+            sink_path=tmp_path / "baseline.jsonl",
+        )
+        assert not checkpoint.exists()
+
+        chaos = ChaosEngine(
+            plan=FaultPlan(interrupt_after_shards=max(1, shards // 2))
+        )
+        with pytest.raises(ScanInterrupted) as excinfo:
+            self._scan(
+                tiny_world,
+                stress_targets,
+                shards=shards,
+                checkpoint=checkpoint,
+                sink_path=tmp_path / "resumed.jsonl",
+                chaos=chaos,
+            )
+        assert checkpoint.exists()
+        assert excinfo.value.completed >= 1
+        # The kill left only a .partial output, never a torn destination.
+        assert not (tmp_path / "resumed.jsonl").exists()
+
+        resumed, resumed_telemetry = self._scan(
+            tiny_world,
+            stress_targets,
+            shards=shards,
+            checkpoint=checkpoint,
+            sink_path=tmp_path / "resumed.jsonl",
+            resume=True,
+        )
+        assert not checkpoint.exists()
+        assert resumed.records == baseline.records
+        assert resumed.records_streamed == baseline.records_streamed
+        assert asdict(resumed.engine_stats) == asdict(baseline.engine_stats)
+        assert resumed_telemetry.to_jsonl() == base_telemetry.to_jsonl()
+        assert (
+            resumed_telemetry.to_prometheus() == base_telemetry.to_prometheus()
+        )
+        assert (tmp_path / "resumed.jsonl").read_bytes() == (
+            tmp_path / "baseline.jsonl"
+        ).read_bytes()
+
+    def test_recovery_mode_equals_plain_run(
+        self, tiny_world, stress_targets, tmp_path
+    ):
+        """Checkpointing itself must not perturb results: a journalled,
+        uninterrupted run equals the no-journal fast path."""
+        plain = ScanTelemetry()
+        plain_result = ShardedScanRunner(
+            tiny_world, shards=4, executor="thread"
+        ).scan(
+            stress_targets,
+            ScanConfig(**self.CFG),
+            name="scan",
+            epoch=self.EPOCH,
+            telemetry=plain,
+        )
+        journalled_result, journalled = self._scan(
+            tiny_world,
+            stress_targets,
+            shards=4,
+            checkpoint=tmp_path / "scan.ckpt",
+        )
+        assert journalled_result.records == plain_result.records
+        assert journalled.to_jsonl() == plain.to_jsonl()
+        assert journalled.to_prometheus() == plain.to_prometheus()
+
+    def test_table2_survey_interrupt_and_resume(self, tmp_path):
+        """The paper's Table 2 mini-survey, killed mid-campaign and
+        resumed from its checkpoint directory: identical survey output."""
+        from repro.core.survey import SRASurvey, SurveyConfig
+        from repro.netsim.faults import ChaosEngine, FaultPlan
+        from repro.scanner.sharded import ScanInterrupted
+        from repro.datasets.tum import harvest_hitlist, published_alias_list
+        from repro.topology.config import tiny_config
+        from repro.topology.generator import build_world
+
+        world = build_world(tiny_config(seed=7))
+        hitlist = harvest_hitlist(world, seed=97)
+        aliases = published_alias_list(world, seed=101)
+        budgets = dict(
+            seed=13,
+            slash48_per_prefix=4,
+            max_bgp_48=600,
+            slash64_per_prefix=4,
+            max_bgp_64=500,
+            route6_per_prefix=2,
+            max_route6=600,
+            max_hitlist=600,
+        )
+        checkpoint_dir = tmp_path / "journals"
+
+        def survey(runner):
+            return SRASurvey(
+                world,
+                hitlist,
+                alias_list=aliases,
+                config=SurveyConfig(**budgets),
+                runner=runner,
+            ).run()
+
+        def runner(chaos=None):
+            return ShardedScanRunner(
+                world,
+                shards=4,
+                executor="thread",
+                retry_backoff=0.0,
+                checkpoint_dir=checkpoint_dir,
+                chaos=chaos,
+            )
+
+        baseline = survey(
+            ShardedScanRunner(world, shards=4, executor="thread")
+        )
+        chaos = ChaosEngine(plan=FaultPlan(interrupt_after_shards=2))
+        with pytest.raises(ScanInterrupted):
+            survey(runner(chaos=chaos))
+        assert list(checkpoint_dir.glob("*.ckpt"))
+        # Re-running the same campaign auto-resumes from the journals.
+        resumed = survey(runner())
+        assert not list(checkpoint_dir.glob("*.ckpt"))
+        assert set(resumed.input_sets) == set(baseline.input_sets)
+        for name, expected in baseline.input_sets.items():
+            got = resumed.input_sets[name]
+            assert got.router_ips == expected.router_ips, name
+            assert scan_snapshot(got.result) == scan_snapshot(
+                expected.result
+            ), name
+        assert resumed.table2_rows() == baseline.table2_rows()

@@ -375,6 +375,87 @@ class TestShardPrimitives:
             ShardedScanRunner(tiny_world, shards=0)
 
 
+class TestWindowValidation:
+    """``merge_shard_outcomes`` must refuse anything but an exact tiling
+    of the permutation — a gap or overlap would merge into a plausible
+    but silently wrong result (the crash-recovery failure mode)."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, tiny_world, stress_targets):
+        return [
+            scan_shard(
+                tiny_world,
+                ScanConfig(pps=200_000.0, seed=5),
+                stress_targets,
+                name="scan",
+                epoch=2,
+                shard=shard,
+                shards=3,
+            )
+            for shard in range(3)
+        ]
+
+    def test_exact_tiling_merges(self, tiny_world, outcomes):
+        merged = merge_shard_outcomes(
+            tiny_world, outcomes, name="scan", epoch=2
+        )
+        assert merged.sent > 0
+
+    def test_empty_outcomes_rejected(self, tiny_world):
+        with pytest.raises(ValueError, match="no shard outcomes"):
+            merge_shard_outcomes(tiny_world, [], name="scan", epoch=2)
+
+    def test_gap_rejected(self, tiny_world, outcomes):
+        with pytest.raises(ValueError, match=r"gaps.*missing shard\(s\) \[1\]"):
+            merge_shard_outcomes(
+                tiny_world,
+                [outcomes[0], outcomes[2]],
+                name="scan",
+                epoch=2,
+            )
+
+    def test_overlap_rejected(self, tiny_world, outcomes):
+        with pytest.raises(ValueError, match="overlapping shard windows"):
+            merge_shard_outcomes(
+                tiny_world,
+                [outcomes[0], outcomes[0], outcomes[1], outcomes[2]],
+                name="scan",
+                epoch=2,
+            )
+
+    def test_denominator_mismatch_rejected(
+        self, tiny_world, stress_targets, outcomes
+    ):
+        foreign = scan_shard(
+            tiny_world,
+            ScanConfig(pps=200_000.0, seed=5),
+            stress_targets,
+            name="scan",
+            epoch=2,
+            shard=1,
+            shards=4,
+        )
+        with pytest.raises(ValueError, match="window mismatch"):
+            merge_shard_outcomes(
+                tiny_world,
+                [outcomes[0], foreign, outcomes[2]],
+                name="scan",
+                epoch=2,
+            )
+
+    def test_out_of_range_shard_rejected(self, tiny_world, outcomes):
+        from dataclasses import replace as dc_replace
+
+        rogue = dc_replace(outcomes[1], shard=7)
+        with pytest.raises(ValueError, match="outside the"):
+            merge_shard_outcomes(
+                tiny_world,
+                [outcomes[0], rogue, outcomes[2]],
+                name="scan",
+                epoch=2,
+            )
+
+
 class TestSurveyParallel:
     def test_sharded_survey_matches_serial(self, tiny_world):
         hitlist = harvest_hitlist(tiny_world, seed=97)
