@@ -15,7 +15,11 @@ code paths and records a trajectory future PRs must defend:
 
 Results go to ``benchmarks/results/BENCH_engine.json``; ``--check`` mode
 compares a fresh run against a committed baseline and fails on >30 %
-probes/sec regression (the CI smoke-perf gate).
+probes/sec regression **or any byte difference** in the records JSONL,
+Prometheus text, or telemetry JSONL between batch sizes 1/1024 and
+1/4-way sharding (the CI smoke-perf gate on the columnar hot path).
+Every report also carries the shared-memory ring transport counters from
+one process-pool scan, uploaded by CI as an artifact.
 
     PYTHONPATH=src python benchmarks/engine_hotpath.py
     PYTHONPATH=src python benchmarks/engine_hotpath.py --probes 5000 \
@@ -25,6 +29,7 @@ probes/sec regression (the CI smoke-perf gate).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import sys
@@ -89,15 +94,27 @@ def build_workloads(world: World, probes: int) -> dict[str, tuple[list[int], flo
 def time_workload(
     world: World, targets: list[int], pps: float, *, repeats: int
 ) -> dict[str, float]:
-    """Best-of-N scan timing on a fresh engine per run (buckets are state)."""
+    """Best-of-N scan timing on a fresh engine per run (buckets are state).
+
+    The collector is paused around each timed scan: a buffered scan
+    allocates one record per reply, and letting generational GC walk
+    those mid-run adds double-digit-percent noise on small machines.
+    """
     best = float("inf")
     received = 0
     for _ in range(repeats):
         engine = SimulationEngine(world, epoch=0)
         scanner = ZMapV6Scanner(engine, ScanConfig(pps=pps, seed=3))
-        started = time.perf_counter()
-        result = scanner.scan(targets, name="bench")
-        elapsed = time.perf_counter() - started
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            result = scanner.scan(targets, name="bench")
+            elapsed = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        gc.collect()
         best = min(best, elapsed)
         received = result.received
     return {
@@ -108,7 +125,97 @@ def time_workload(
     }
 
 
-def run_benchmark(probes: int, repeats: int, seed: int) -> dict:
+def measure_ring(world: World, workloads: dict) -> dict:
+    """One process-pool scan through the shared-memory ring.
+
+    The transport counters land in the report so the CI artifact shows,
+    per run, how many frames/bytes crossed the shard channel and whether
+    anything silently fell back to pickling.
+    """
+    from repro.scanner.sharded import ShardedScanRunner
+
+    targets = workloads["routed"][0][:4_000]
+    runner = ShardedScanRunner(world, shards=2, executor="process")
+    runner.scan(
+        targets, ScanConfig(pps=200_000.0, seed=3), name="bench-ring"
+    )
+    return runner.ring_stats.as_dict()
+
+
+def verify_byte_identity(world: World, workloads: dict) -> list[str]:
+    """The columnar path's correctness gate: every byte of output.
+
+    Runs one mixed workload (routed + loop + rate-limited) through the
+    serial scanner at batch sizes 1 and 1024 and through a 4-way sharded
+    runner, comparing the records JSONL, the telemetry JSONL and the
+    Prometheus text.  Batch size must change nothing; sharding must
+    change nothing in records and Prometheus (the telemetry event stream
+    legitimately reports its own shard count).  Returns human-readable
+    failure strings, empty when identical.
+    """
+    import tempfile
+
+    from repro.scanner.sharded import ShardedScanRunner
+    from repro.telemetry import ScanTelemetry
+
+    targets: list[int] = []
+    for name in ("routed", "loop", "rate_limited"):
+        targets.extend(workloads[name][0][:1_500])
+
+    def serial(batch_size):
+        telemetry = ScanTelemetry()
+        engine = SimulationEngine(world, epoch=0)
+        scanner = ZMapV6Scanner(
+            engine,
+            ScanConfig(
+                pps=200_000.0,
+                seed=3,
+                batch_size=batch_size,
+                progress_every=1_000,
+            ),
+            telemetry=telemetry,
+        )
+        return scanner.scan(targets, name="bench"), telemetry
+
+    def sharded(shards):
+        telemetry = ScanTelemetry()
+        runner = ShardedScanRunner(
+            world, shards=shards, executor="thread", telemetry=telemetry
+        )
+        result = runner.scan(
+            targets,
+            ScanConfig(pps=200_000.0, seed=3, progress_every=1_000),
+            name="bench",
+        )
+        return result, telemetry
+
+    def jsonl_bytes(result):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "records.jsonl"
+            result.write_jsonl(path)
+            return path.read_bytes()
+
+    failures = []
+    base_result, base_tel = serial(1)
+    base_bytes = jsonl_bytes(base_result)
+    batched_result, batched_tel = serial(1024)
+    if jsonl_bytes(batched_result) != base_bytes:
+        failures.append("records JSONL differs: batch 1024 vs 1")
+    if batched_tel.to_jsonl() != base_tel.to_jsonl():
+        failures.append("telemetry JSONL differs: batch 1024 vs 1")
+    if batched_tel.to_prometheus() != base_tel.to_prometheus():
+        failures.append("Prometheus text differs: batch 1024 vs 1")
+    sharded_result, sharded_tel = sharded(4)
+    if jsonl_bytes(sharded_result) != base_bytes:
+        failures.append("records JSONL differs: 4 shards vs serial")
+    if sharded_tel.to_prometheus() != base_tel.to_prometheus():
+        failures.append("Prometheus text differs: 4 shards vs serial")
+    return failures
+
+
+def run_benchmark(
+    probes: int, repeats: int, seed: int
+) -> tuple[dict, World, dict]:
     world = build_world(tiny_config(seed=seed))
     workloads = build_workloads(world, probes)
     report: dict = {
@@ -128,7 +235,14 @@ def run_benchmark(probes: int, repeats: int, seed: int) -> dict:
             f"{name:<14} {stats['targets']:>8} probes  {stats['seconds']:>8.3f}s"
             f"  {stats['pps']:>12,.0f} probes/s  ({stats['received']} replies)"
         )
-    return report
+    report["ring"] = measure_ring(world, workloads)
+    print(
+        "ring transport {segments} segments, {bytes} bytes, "
+        "{records} records, {checks} checks, {fallbacks} fallbacks".format(
+            **report["ring"]
+        )
+    )
+    return report, world, workloads
 
 
 def check_regression(report: dict, baseline_path: Path, tolerance: float) -> int:
@@ -172,7 +286,9 @@ def main(argv=None):
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
     args = parser.parse_args(argv)
 
-    report = run_benchmark(args.probes, args.repeats, args.seed)
+    report, world, workloads = run_benchmark(
+        args.probes, args.repeats, args.seed
+    )
     # Default runs refresh the committed baseline; --check runs only
     # write when pointed at an explicit --output (the CI artifact).
     write = not args.no_write and (
@@ -183,7 +299,15 @@ def main(argv=None):
         args.output.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.output}")
     if args.check is not None:
-        return check_regression(report, args.check, args.tolerance)
+        status = check_regression(report, args.check, args.tolerance)
+        failures = verify_byte_identity(world, workloads)
+        for failure in failures:
+            print(f"byte-identity FAILED: {failure}")
+        if failures:
+            status = 1
+        else:
+            print("byte-identity ok (batch 1/1024, shards 1/4)")
+        return status
     return 0
 
 

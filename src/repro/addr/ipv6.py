@@ -79,6 +79,37 @@ def prefix_mask(length: int) -> int:
     return _NETWORK_MASKS[length]
 
 
+# ---------------------------------------------------------------------- #
+# int-pair (hi, lo) columns
+# ---------------------------------------------------------------------- #
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def split_address(value: int) -> tuple[int, int]:
+    """A 128-bit address as a ``(hi, lo)`` pair of 64-bit words.
+
+    The columnar probe batches and the shared-memory shard transport
+    store addresses as parallel ``array('Q')`` hi/lo columns — machine
+    words instead of arbitrary-precision ints — and this is the one
+    definition of that packing.
+    """
+    return value >> 64, value & _WORD_MASK
+
+
+def join_address(hi: int, lo: int) -> int:
+    """Inverse of :func:`split_address`."""
+    return (hi << 64) | lo
+
+
+def split_into(values, index_range, hi_out, lo_out) -> None:
+    """Fill hi/lo columns from ``values`` over ``index_range``, in bulk."""
+    for i in index_range:
+        value = values[i]
+        hi_out[i] = value >> 64
+        lo_out[i] = value & _WORD_MASK
+
+
 def network_of(address: int, length: int) -> int:
     """The network (lowest) address of ``address``'s ``/length`` prefix."""
     if not 0 <= length <= ADDRESS_BITS:

@@ -60,10 +60,10 @@ def contribute_to_hitlist(
         error_sources |= scan.error_sources()
     error_only = error_sources - echo_sources
 
-    candidates = set(echo_sources)
-    if include_error_sources:
-        candidates |= error_only
-    for source in sorted(candidates):
+    # Every source is considered, error-only ones included: an aliased
+    # error-only address counts as rejected_aliased, not rejected_error_only
+    # — the alias verdict holds whatever the reply type was.
+    for source in sorted(echo_sources | error_only):
         if alias_list is not None and alias_list.contains_address(source):
             report.rejected_aliased += 1
             continue
@@ -75,6 +75,4 @@ def contribute_to_hitlist(
             report.new_addresses.append(source)
         else:
             report.already_known += 1
-    if not include_error_sources:
-        report.rejected_error_only += len(error_only)
     return report

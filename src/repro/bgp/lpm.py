@@ -19,7 +19,7 @@ invalidates the cache, keeping lookups bit-identical to the uncached path.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, TypeVar
+from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 
 from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix, prefix_mask
 
@@ -121,6 +121,69 @@ class LengthIndexedLPM(Generic[V]):
                 pass
         cache[cache_key] = result
         return result
+
+    @property
+    def block_shift(self) -> int:
+        """Right-shift that maps an address to its covering cache block.
+
+        Two addresses with equal ``address >> block_shift`` match
+        identically at every stored length — the invariant behind both
+        the LRU result cache and :meth:`longest_match_batch` runs.  The
+        value changes on mutation (it tracks the longest stored length),
+        so callers must re-read it per batch, never cache it across
+        inserts/removes.
+        """
+        return self._cache_shift
+
+    def longest_match_batch(
+        self,
+        addresses: Sequence[int],
+        indices: Iterable[int],
+        out: list,
+    ) -> None:
+        """Vectorised LPM: fill ``out[i] = longest_match(addresses[i])``
+        for every ``i`` in ``indices``.
+
+        ``indices`` should visit equal covering blocks contiguously —
+        sort them by ``addresses[i]`` — so that one table walk serves an
+        entire run of same-block addresses (zmap-style batch-sorted
+        lookup).  Results are bit-identical to per-address
+        :meth:`longest_match` calls in any order; only the walk count
+        changes.  Unsorted indices stay correct but degrade to one walk
+        per index.
+        """
+        shift = self._cache_shift
+        cache = self._cache
+        cache_size = self._cache_size
+        tables_desc = self._tables_desc
+        miss = _MISS
+        last_key = -1
+        last: tuple[IPv6Prefix, V] | None = None
+        for i in indices:
+            address = addresses[i]
+            key = address >> shift
+            if key != last_key:
+                # Inlined longest_match, minus the LRU touch on hits: the
+                # touch only reorders advisory eviction, never a result.
+                found = cache.get(key, miss)
+                if found is not miss:
+                    last = found  # type: ignore[assignment]
+                else:
+                    last = None
+                    for length, mask, table in tables_desc:
+                        network = address & mask
+                        value = table.get(network, miss)
+                        if value is not miss:
+                            last = (IPv6Prefix(network, length), value)
+                            break
+                    if len(cache) >= cache_size:
+                        try:
+                            del cache[next(iter(cache))]
+                        except (StopIteration, KeyError, RuntimeError):
+                            pass
+                    cache[key] = last
+                last_key = key
+            out[i] = last
 
     def has_cover(self, prefix: IPv6Prefix, *, strict: bool = False) -> bool:
         """True if a stored prefix covers ``prefix``.

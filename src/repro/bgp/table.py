@@ -65,6 +65,18 @@ class BGPTable:
         """Announced prefixes of exactly the given length, sorted."""
         return sorted(p for p in self._announcements if p.length == length)
 
+    @property
+    def lpm(self) -> LengthIndexedLPM[int]:
+        """The underlying LPM index (prefix, origin ASN).
+
+        Exposed for run-batched lookups: the probe hot path calls
+        ``table.lpm.longest_match_batch`` on a block-sorted batch instead
+        of one :meth:`origin_of` per target.  Treat as read-only; mutate
+        through :meth:`add`/:meth:`withdraw` so the announcement map and
+        the index stay in lockstep.
+        """
+        return self._trie
+
     def origin_of(self, address: int) -> int | None:
         """Origin ASN by longest-prefix match, None if unrouted."""
         match = self._trie.longest_match(address)

@@ -19,7 +19,7 @@ uncached lookups are indistinguishable.
 
 from __future__ import annotations
 
-from typing import Generic, Iterator, TypeVar
+from typing import Generic, Iterable, Iterator, Sequence, TypeVar
 
 from ..addr.ipv6 import ADDRESS_BITS, IPv6Prefix
 
@@ -173,6 +173,49 @@ class PrefixTrie(Generic[V]):
                 pass
         cache[cache_key] = result
         return result
+
+    @property
+    def block_shift(self) -> int:
+        """Right-shift mapping an address to its covering cache block.
+
+        Equal ``address >> block_shift`` implies an identical trie walk
+        (same invariant as the LRU cache key).  Re-read per batch — the
+        value tracks the longest stored length and changes on mutation.
+        """
+        return self._cache_shift
+
+    def longest_match_batch(
+        self,
+        addresses: Sequence[int],
+        indices: Iterable[int],
+        out: list,
+    ) -> None:
+        """Vectorised LPM: ``out[i] = longest_match(addresses[i])`` for
+        every ``i`` in ``indices``.
+
+        Sort ``indices`` by ``addresses[i]`` so equal covering blocks
+        are contiguous; one trie walk then serves each run.  Results are
+        bit-identical to per-address :meth:`longest_match` calls.
+        """
+        shift = self._cache_shift
+        cache = self._cache
+        missing = _MISSING
+        last_key = -1
+        last: tuple[IPv6Prefix, V] | None = None
+        for i in indices:
+            address = addresses[i]
+            key = address >> shift
+            if key != last_key:
+                # Cache hit without the LRU touch (advisory only); misses
+                # take the full walk via longest_match, which also fills
+                # the cache for the rest of this block's run.
+                found = cache.get(key, missing)
+                if found is not missing:
+                    last = found  # type: ignore[assignment]
+                else:
+                    last = self.longest_match(address)
+                last_key = key
+            out[i] = last
 
     def all_matches(self, address: int) -> Iterator[tuple[IPv6Prefix, V]]:
         """All stored prefixes containing ``address``, shortest first."""

@@ -110,6 +110,19 @@ def main(argv: list[str] | None = None) -> int:
         "(default: one per core; results are identical at any count)",
     )
     parser.add_argument(
+        "--pps",
+        type=float,
+        default=None,
+        help="override the scale's survey probe rate",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="probes per engine batch (throughput dial; results are "
+        "bit-identical for any value)",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         help="journal every campaign scan here; an interrupted run "
         "resumes from the journals and regenerates identical outputs",
@@ -126,6 +139,20 @@ def main(argv: list[str] | None = None) -> int:
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
+    # One-line stderr + exit 2 for bad numeric knobs, matching sra-scan:
+    # a non-positive rate would otherwise surface as a ValueError
+    # traceback deep inside the first campaign scan.
+    for problem in (
+        "--pps must be positive"
+        if args.pps is not None and args.pps <= 0
+        else None,
+        "--batch-size must be >= 1"
+        if args.batch_size is not None and args.batch_size < 1
+        else None,
+    ):
+        if problem is not None:
+            print(f"sra-repro: {problem}", file=sys.stderr)
+            return 2
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
     for flag, value in (
@@ -156,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         shards=args.shards,
         checkpoint_dir=args.checkpoint_dir,
+        pps=args.pps,
+        batch_size=args.batch_size,
     )
     telemetry = (
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None

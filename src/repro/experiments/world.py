@@ -309,7 +309,8 @@ class ExperimentContext:
 
 
 _CONTEXTS: dict[
-    tuple[str, int, int | None, str | None], ExperimentContext
+    tuple[str, int, int | None, str | None, float | None, int | None],
+    ExperimentContext,
 ] = {}
 
 
@@ -319,6 +320,8 @@ def get_context(
     seed: int = 2024,
     shards: int | None = None,
     checkpoint_dir: str | None = None,
+    pps: float | None = None,
+    batch_size: int | None = None,
 ) -> ExperimentContext:
     """Process-level memoised context (scales: 'quick', 'full').
 
@@ -326,9 +329,16 @@ def get_context(
     identical either way; this tunes parallel scan execution only).
     ``checkpoint_dir`` makes every campaign scan journal per (scan,
     epoch) there — an interrupted ``sra-repro`` run resumes from those
-    journals and regenerates identical tables/figures.
+    journals and regenerates identical tables/figures.  ``pps`` and
+    ``batch_size`` override the scale's survey scanner knobs; a
+    non-positive value raises :class:`ValueError` (the CLI rejects these
+    before ever getting here).
     """
-    key = (scale, seed, shards, checkpoint_dir)
+    if pps is not None and pps <= 0:
+        raise ValueError(f"pps must be positive, got {pps}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    key = (scale, seed, shards, checkpoint_dir, pps, batch_size)
     if key not in _CONTEXTS:
         try:
             factory = SCALES[scale]
@@ -342,6 +352,10 @@ def get_context(
             overrides["shards"] = shards
         if checkpoint_dir is not None:
             overrides["checkpoint_dir"] = checkpoint_dir
+        if pps is not None:
+            overrides["pps"] = pps
+        if batch_size is not None:
+            overrides["batch_size"] = batch_size
         if overrides:
             built = replace(
                 built,

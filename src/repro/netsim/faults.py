@@ -128,6 +128,12 @@ class FailingSink:
         self._remaining -= 1
         self._sink.emit(record)
 
+    def drain(self, records) -> None:
+        # Route the bulk path through the failing emit so the injection
+        # counts records identically in streaming and post-merge drains.
+        for record in records:
+            self.emit(record)
+
     def close(self) -> None:
         self._sink.close()
 

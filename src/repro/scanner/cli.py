@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from dataclasses import replace as dc_replace
 from pathlib import Path
 
 from ..core.aliasfilter import filter_aliased
@@ -152,6 +153,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-targets", type=int, default=None)
     parser.add_argument("--pps", type=float, default=None, help="probe rate")
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="probes per engine batch (throughput dial; results are "
+        "bit-identical for any value)",
+    )
+    parser.add_argument(
         "--duration",
         type=float,
         default=6.0,
@@ -227,6 +235,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--summary", action="store_true", help="print totals")
     args = parser.parse_args(argv)
+    # One-line stderr + exit 2 for bad numeric knobs: these used to leak
+    # through as tracebacks (ScanConfig ValueError) or silent weird
+    # slicing (a negative --max-targets slices from the *end* of the set).
+    for problem in (
+        "--pps must be positive"
+        if args.pps is not None and args.pps <= 0
+        else None,
+        "--batch-size must be >= 1"
+        if args.batch_size is not None and args.batch_size < 1
+        else None,
+        "--max-targets must be >= 0"
+        if args.max_targets is not None and args.max_targets < 0
+        else None,
+    ):
+        if problem is not None:
+            print(f"sra-scan: {problem}", file=sys.stderr)
+            return 2
     if args.shards < 0:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
     if args.progress_every < 0:
@@ -268,6 +293,14 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     pps = args.pps or max(100.0, len(targets) / args.duration)
+    scan_config = ScanConfig(
+        pps=pps,
+        hop_limit=args.hop_limit,
+        seed=args.seed,
+        progress_every=args.progress_every,
+    )
+    if args.batch_size is not None:
+        scan_config = dc_replace(scan_config, batch_size=args.batch_size)
     shards = auto_shard_count() if args.shards == 0 else args.shards
     telemetry = (
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
@@ -290,12 +323,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         result: ScanResult = runner.scan(
             targets,
-            ScanConfig(
-                pps=pps,
-                hop_limit=args.hop_limit,
-                seed=args.seed,
-                progress_every=args.progress_every,
-            ),
+            scan_config,
             name=args.input_set,
             epoch=args.epoch,
             sink=sink,

@@ -18,8 +18,13 @@ def paced_pps(target_count: int, duration: float, ceiling: float) -> float:
     scanner's line rate ``ceiling``.
 
     A non-positive ``duration`` or an empty target list disables pacing
-    and returns the ceiling unchanged.
+    and returns the ceiling unchanged.  A non-positive ``ceiling`` is a
+    configuration error — a scan cannot run at zero or negative rate —
+    and raises :class:`ValueError` instead of propagating nonsense pps
+    into the virtual clock.
     """
+    if ceiling <= 0:
+        raise ValueError(f"pps ceiling must be positive, got {ceiling}")
     if duration <= 0 or target_count <= 0:
         return ceiling
     return min(ceiling, max(MIN_PPS, target_count / duration))

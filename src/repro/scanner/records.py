@@ -11,6 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+from array import array
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -72,6 +73,91 @@ def record_jsonl_line(record: ScanRecord) -> str:
         )
         + "\n"
     )
+
+
+@dataclass(slots=True)
+class RecordColumns:
+    """A list of :class:`ScanRecord` rows as packed parallel columns.
+
+    Addresses are int-pair (hi, lo) ``array('Q')`` columns; the small
+    fields are machine-width arrays.  This is the wire layout of the
+    shared-memory shard transport (:mod:`repro.scanner.shmring`): every
+    column exposes a flat buffer, so a shard can hand its records to the
+    merge process without pickling a single Python object per row.
+
+    ``from_records`` / ``to_records`` round-trip exactly — field for
+    field, including ``count`` and the full float ``time``.
+    """
+
+    target_hi: array
+    target_lo: array
+    source_hi: array
+    source_lo: array
+    icmp_type: array  # 'B'
+    code: array  # 'B'
+    count: array  # 'Q'
+    time: array  # 'd'
+
+    def __len__(self) -> int:
+        return len(self.icmp_type)
+
+    @classmethod
+    def empty(cls, n: int = 0) -> "RecordColumns":
+        return cls(
+            target_hi=array("Q", bytes(8 * n)),
+            target_lo=array("Q", bytes(8 * n)),
+            source_hi=array("Q", bytes(8 * n)),
+            source_lo=array("Q", bytes(8 * n)),
+            icmp_type=array("B", bytes(n)),
+            code=array("B", bytes(n)),
+            count=array("Q", bytes(8 * n)),
+            time=array("d", bytes(8 * n)),
+        )
+
+    @classmethod
+    def from_records(cls, records: "Iterable[ScanRecord]") -> "RecordColumns":
+        rows = records if isinstance(records, list) else list(records)
+        cols = cls.empty(len(rows))
+        target_hi = cols.target_hi
+        target_lo = cols.target_lo
+        source_hi = cols.source_hi
+        source_lo = cols.source_lo
+        icmp_type = cols.icmp_type
+        code = cols.code
+        count = cols.count
+        time = cols.time
+        mask = (1 << 64) - 1
+        for i, record in enumerate(rows):
+            target_hi[i] = record.target >> 64
+            target_lo[i] = record.target & mask
+            source_hi[i] = record.source >> 64
+            source_lo[i] = record.source & mask
+            icmp_type[i] = record.icmp_type
+            code[i] = record.code
+            count[i] = record.count
+            time[i] = record.time
+        return cols
+
+    def to_records(self) -> list[ScanRecord]:
+        target_hi = self.target_hi
+        target_lo = self.target_lo
+        source_hi = self.source_hi
+        source_lo = self.source_lo
+        icmp_type = self.icmp_type
+        code = self.code
+        count = self.count
+        time = self.time
+        return [
+            ScanRecord(
+                target=(target_hi[i] << 64) | target_lo[i],
+                source=(source_hi[i] << 64) | source_lo[i],
+                icmp_type=icmp_type[i],
+                code=code[i],
+                count=count[i],
+                time=time[i],
+            )
+            for i in range(len(icmp_type))
+        ]
 
 
 def record_csv_row(record: ScanRecord) -> list:

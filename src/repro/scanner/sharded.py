@@ -63,6 +63,13 @@ from .checkpoint import (
     target_fingerprint,
 )
 from .records import ScanResult, merge_results
+from .shmring import (
+    RingHandle,
+    RingStats,
+    drain_outcome,
+    pack_outcome,
+    release_outcome,
+)
 from .stream import RecordSink, StreamSpec, TargetStream, build_stream, stream_buffered
 from .zmapv6 import ScanConfig, ZMapV6Scanner
 
@@ -150,6 +157,13 @@ class ShardOutcome:
     # Denominator of this shard's index window (IndexWindow(shard, shards)):
     # the merge validates that outcomes tile the permutation exactly once.
     shards: int = 1
+    # Shared-memory frame holding the records and checks while the outcome
+    # crosses a process boundary (see repro.scanner.shmring).  Drained —
+    # and cleared — in the parent before the merge or the checkpoint
+    # journal ever touch the outcome.
+    ring: RingHandle | None = None
+    # The worker wanted the ring but had to fall back to pickling.
+    ring_fallback: bool = False
 
 
 def scan_shard(
@@ -220,6 +234,7 @@ def merge_shard_outcomes(
     telemetry: ScanTelemetry | None = None,
     targets_buffered: int = 0,
     sink: RecordSink | None = None,
+    ring_stats: RingStats | None = None,
 ) -> ScanResult:
     """Merge deferred-mode shards into the exact serial result.
 
@@ -238,6 +253,12 @@ def merge_shard_outcomes(
     """
     ordered = sorted(outcomes, key=lambda outcome: outcome.shard)
     _validate_shard_windows(ordered)
+    for outcome in ordered:
+        # Outcomes that crossed a process boundary carry their records and
+        # checks in a shared-memory frame; drain them here, in serial
+        # shard order (no-op for thread/serial shards and for outcomes a
+        # recovery round already drained).
+        drain_outcome(outcome, ring_stats)
     # (time, shard, router_id, record indices at that time) — at most one
     # rate-limit check exists per probe, and probe times are unique, so
     # sorting by time alone reconstructs the serial check sequence.
@@ -295,8 +316,7 @@ def merge_shard_outcomes(
         # Shards must buffer their records for the replay correction, so
         # streaming drains here, post-merge — in exact serial order, and
         # before the closing telemetry so gauges see the drained state.
-        for record in merged.records:
-            sink.emit(record)
+        sink.drain(merged.records)
         merged.records_streamed += len(merged.records)
         merged.records.clear()
 
@@ -417,6 +437,22 @@ def _merge_telemetry(
     )
 
 
+def _release_ring_futures(futures: Iterable[Future]) -> None:
+    """Unlink ring frames of completed-but-unconsumed shard futures.
+
+    Called on the failure/interrupt paths: a frame nobody drains outlives
+    the process in ``/dev/shm``.  Best-effort — still-running shards (an
+    interrupt does not wait for them) clean up only at machine scope.
+    """
+    for future in futures:
+        if future.done() and not future.cancelled():
+            try:
+                outcome = future.result()
+            except BaseException:
+                continue
+            release_outcome(outcome)
+
+
 # ---------------------------------------------------------------------- #
 # process-pool plumbing: ship world + targets once per worker, not once
 # per shard task.
@@ -448,7 +484,7 @@ def _worker_scan_shard(
     attempt: int = 0,
 ) -> ShardOutcome:
     assert _WORKER_WORLD is not None and _WORKER_TARGETS is not None
-    return scan_shard(
+    outcome = scan_shard(
         _WORKER_WORLD,
         config,
         _WORKER_TARGETS,
@@ -460,6 +496,11 @@ def _worker_scan_shard(
         chaos=chaos,
         attempt=attempt,
     )
+    # Ship the records and checks through a shared-memory frame instead of
+    # the pool's pickled-result channel; on platforms without shared
+    # memory this no-ops and the ordinary pickle return does the job.
+    pack_outcome(outcome)
+    return outcome
 
 
 class ShardedScanRunner:
@@ -525,6 +566,9 @@ class ShardedScanRunner:
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         self.chaos = chaos
+        # Shared-memory transport counters, accumulated across every scan
+        # this runner executes (exported as a CI artifact by smoke-perf).
+        self.ring_stats = RingStats()
         self._interrupted = False
 
     def request_interrupt(self) -> None:
@@ -631,6 +675,7 @@ class ShardedScanRunner:
             telemetry=effective,
             targets_buffered=stream_buffered(target_list),
             sink=sink,
+            ring_stats=self.ring_stats,
         )
 
     # ---------------- execution strategies ---------------- #
@@ -696,7 +741,13 @@ class ShardedScanRunner:
                     )
                     for shard in range(self.shards)
                 ]
-                return [future.result() for future in futures]
+                try:
+                    return [future.result() for future in futures]
+                except BaseException:
+                    # A failed shard aborts the scan before the merge can
+                    # drain the others' frames; unlink them or they leak.
+                    _release_ring_futures(futures)
+                    raise
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(
@@ -912,6 +963,7 @@ class ShardedScanRunner:
             telemetry=telemetry,
             targets_buffered=stream_buffered(target_list),
             sink=sink,
+            ring_stats=self.ring_stats,
         )
         if checkpoint_path is not None:
             # The scan is whole; a leftover journal would make the next
@@ -1009,6 +1061,7 @@ class ShardedScanRunner:
                     attempt=attempts[shard],
                 )
                 futures[future] = shard
+        consumed: set[Future] = set()
         try:
             outstanding = set(futures)
             while outstanding and not self._interrupted:
@@ -1022,6 +1075,7 @@ class ShardedScanRunner:
                         # re-run on resume, which stays byte-identical.
                         break
                     shard = futures[future]
+                    consumed.add(future)
                     try:
                         outcome = future.result()
                     except Exception as error:
@@ -1030,8 +1084,16 @@ class ShardedScanRunner:
                         # recorded and retried on the next (fresh) pool.
                         failures.append((shard, error))
                     else:
+                        # Drain the shared-memory frame *before* complete:
+                        # the checkpoint journal pickles the outcome, and
+                        # a journaled ring handle would dangle on resume.
+                        drain_outcome(outcome, self.ring_stats)
                         complete(outcome)
         finally:
             cancel = self._interrupted
             pool.shutdown(wait=not cancel, cancel_futures=cancel)
+            if cancel:
+                _release_ring_futures(
+                    [future for future in futures if future not in consumed]
+                )
         return failures

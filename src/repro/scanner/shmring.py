@@ -1,0 +1,282 @@
+"""Zero-copy shared-memory transport for the shard → merge hand-off.
+
+A process-pool shard used to return its :class:`ShardOutcome` through the
+pool's pickled-result channel: every :class:`ScanRecord` and every deferred
+rate-limit check was serialised object-by-object in the worker and rebuilt
+object-by-object in the parent.  At survey scale that pickle traffic rivals
+the scan itself.
+
+This module replaces it with a **shared-memory ring frame**: the worker
+packs its records and checks into flat parallel columns
+(:class:`~repro.scanner.records.RecordColumns` plus two check arrays) and
+memcpys them — one buffer-protocol copy per column, no per-row objects —
+into a single ``multiprocessing.shared_memory`` segment.  What crosses the
+pickle channel is a tiny :class:`RingHandle` claim ticket.  The parent
+attaches, rebuilds the columns straight out of the mapping, and unlinks.
+
+Frame layout (one segment per shard outcome)::
+
+    header:  magic (8s) | record rows (Q) | check rows (Q)
+    frame 0: record columns, each contiguous, in RecordColumns field order
+    frame 1: check times as array('d'), check router ids as array('q')
+
+Ownership protocol: the worker *creates* the segment but immediately
+unregisters it from its resource tracker — the parent owns the unlink.
+Draining is therefore mandatory; :func:`drain_outcome` both rebuilds the
+payload and releases the segment, and :func:`release_outcome` unlinks an
+undrained frame when a failure or interrupt means its payload will never
+be merged.
+
+Everything degrades gracefully: when shared memory is unavailable (or a
+segment cannot be created) the outcome simply travels the old pickled
+path, flagged via ``ring_fallback`` so :class:`RingStats` can report it.
+The payload bytes are identical either way — the columns round-trip every
+field exactly — so transport choice never changes a scan's output.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .records import RecordColumns
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .sharded import ShardOutcome
+
+try:  # gate: platforms without POSIX/System V shared memory pickle instead
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "RingHandle",
+    "RingStats",
+    "drain_outcome",
+    "pack_outcome",
+    "release_outcome",
+    "ring_available",
+]
+
+_MAGIC = b"SRARING1"
+# magic | record row count | check row count
+_HEADER = struct.Struct("<8sQQ")
+
+
+def ring_available() -> bool:
+    """Whether this platform can ship outcomes through shared memory."""
+    return shared_memory is not None
+
+
+@dataclass(slots=True)
+class RingHandle:
+    """Picklable claim ticket for one shard's shared-memory frame."""
+
+    name: str
+    nbytes: int
+    records: int
+    checks: int
+
+
+@dataclass(slots=True)
+class RingStats:
+    """Transport counters for the shared-memory shard channel.
+
+    Accumulated on the parent as frames are drained; exported by the CI
+    smoke-perf job as an artifact so transport regressions (silent
+    pickle fallbacks, ballooning frame sizes) are visible per run.
+    """
+
+    segments: int = 0
+    bytes: int = 0
+    records: int = 0
+    checks: int = 0
+    fallbacks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "segments": self.segments,
+            "bytes": self.bytes,
+            "records": self.records,
+            "checks": self.checks,
+            "fallbacks": self.fallbacks,
+        }
+
+
+def _columns(cols: RecordColumns, times: array, routers: array) -> tuple:
+    """The frame's column order — shared by pack and drain."""
+    return (
+        cols.target_hi,
+        cols.target_lo,
+        cols.source_hi,
+        cols.source_lo,
+        cols.icmp_type,
+        cols.code,
+        cols.count,
+        cols.time,
+        times,
+        routers,
+    )
+
+
+def _disinherit(segment) -> None:
+    """Hand unlink ownership to the parent process.
+
+    Without this the worker's resource tracker destroys the segment when
+    the pool shuts down, racing the parent's drain.  Unregistering is
+    best-effort — a tracker that never saw the segment has nothing to
+    forget.
+    """
+    if resource_tracker is None:  # pragma: no cover - import-gated
+        return
+    try:
+        resource_tracker.unregister(
+            getattr(segment, "_name", segment.name), "shared_memory"
+        )
+    except Exception:  # pragma: no cover - tracker quirks are non-fatal
+        pass
+
+
+def pack_outcome(outcome: "ShardOutcome") -> bool:
+    """Move an outcome's records and checks into a shared-memory frame.
+
+    Runs in the pool worker, just before the outcome crosses the result
+    channel.  On success the records and checks are emptied (the handle
+    replaces them) and ``True`` is returned; on any failure the outcome
+    is left untouched, ``ring_fallback`` is flagged, and the caller's
+    ordinary pickled return does the job.
+    """
+    if shared_memory is None:
+        outcome.ring_fallback = True
+        return False
+    records = outcome.result.records
+    checks = outcome.checks
+    cols = RecordColumns.from_records(records)
+    times = array("d", [check[0] for check in checks])
+    routers = array("q", [check[1] for check in checks])
+    columns = _columns(cols, times, routers)
+    total = _HEADER.size + sum(
+        len(column) * column.itemsize for column in columns
+    )
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=total)
+    except (OSError, ValueError):
+        outcome.ring_fallback = True
+        return False
+    try:
+        buf = segment.buf
+        _HEADER.pack_into(buf, 0, _MAGIC, len(records), len(checks))
+        offset = _HEADER.size
+        for column in columns:
+            view = memoryview(column).cast("B")
+            end = offset + len(view)
+            buf[offset:end] = view
+            offset = end
+        _disinherit(segment)
+    except BaseException:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        outcome.ring_fallback = True
+        return False
+    name = segment.name
+    segment.close()
+    outcome.ring = RingHandle(
+        name=name, nbytes=total, records=len(records), checks=len(checks)
+    )
+    outcome.result.records = []
+    outcome.checks = []
+    return True
+
+
+def drain_outcome(
+    outcome: "ShardOutcome", stats: RingStats | None = None
+) -> None:
+    """Rebuild an outcome's records and checks from its ring frame.
+
+    Runs in the parent, before the merge or the checkpoint journal ever
+    look at the outcome.  Idempotent: outcomes without a frame (thread
+    and serial shards, pickle fallbacks, already-drained or journal-
+    restored outcomes) pass through untouched.  The segment is unlinked
+    here — the parent owns the frame's lifetime.
+    """
+    if stats is not None and getattr(outcome, "ring_fallback", False):
+        stats.fallbacks += 1
+        outcome.ring_fallback = False
+    handle = getattr(outcome, "ring", None)
+    if handle is None:
+        return
+    records, checks = _read_frame(handle)
+    outcome.result.records = records
+    outcome.checks = checks
+    outcome.ring = None
+    if stats is not None:
+        stats.segments += 1
+        stats.bytes += handle.nbytes
+        stats.records += handle.records
+        stats.checks += handle.checks
+
+
+def _read_frame(handle: RingHandle) -> tuple[list, list[tuple[float, int]]]:
+    if shared_memory is None:  # pragma: no cover - handle implies support
+        raise RuntimeError(
+            "received a shared-memory ring handle on a platform without "
+            "multiprocessing.shared_memory"
+        )
+    segment = shared_memory.SharedMemory(name=handle.name)
+    try:
+        buf = segment.buf
+        magic, n_records, n_checks = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            raise ValueError(
+                f"shared-memory segment {handle.name!r} is not a ring frame"
+            )
+        if (n_records, n_checks) != (handle.records, handle.checks):
+            raise ValueError(
+                f"ring frame {handle.name!r} header disagrees with its "
+                f"handle: frame has ({n_records}, {n_checks}) rows, handle "
+                f"claims ({handle.records}, {handle.checks})"
+            )
+        cols = RecordColumns.empty(n_records)
+        times = array("d", bytes(8 * n_checks))
+        routers = array("q", bytes(8 * n_checks))
+        offset = _HEADER.size
+        for column in _columns(cols, times, routers):
+            view = memoryview(column).cast("B")
+            end = offset + len(view)
+            view[:] = buf[offset:end]
+            offset = end
+        return cols.to_records(), list(zip(times, routers))
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def release_outcome(outcome: "ShardOutcome") -> None:
+    """Unlink an undrained frame whose payload will never be merged.
+
+    Failure/interrupt cleanup: a segment nobody unlinks outlives the
+    process in ``/dev/shm``.  Best-effort by design — a frame that never
+    finished being created simply is not there to release.
+    """
+    handle = getattr(outcome, "ring", None)
+    outcome.ring = None
+    if handle is None or shared_memory is None:
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=handle.name)
+    except (OSError, ValueError):
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced cleanup
+        pass

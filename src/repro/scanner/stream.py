@@ -507,6 +507,16 @@ class RecordSink:
     def emit(self, record: ScanRecord) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def drain(self, records: Iterable[ScanRecord]) -> None:
+        """Bulk-emit ``records`` in order (the post-merge drain path).
+
+        The default is a tight ``emit`` loop; sinks with a cheaper bulk
+        path (buffered writers, columnar stores) may override.
+        """
+        emit = self.emit
+        for record in records:
+            emit(record)
+
     def close(self) -> None:
         """Flush, release resources, and promote staged output."""
 

@@ -23,7 +23,14 @@ from dataclasses import dataclass, replace
 from itertools import islice
 from typing import Callable, Iterable, Iterator, Sequence
 
-from ..netsim.engine import ProbeResult, SimulationEngine
+from ..netsim.engine import (
+    FLAG_LOOPED,
+    FLAG_LOST,
+    FLAG_REPLY,
+    ProbeColumns,
+    ProbeResult,
+    SimulationEngine,
+)
 from ..packet.icmpv6 import (
     ICMPv6Message,
     ICMPv6Type,
@@ -295,17 +302,19 @@ class ZMapV6Scanner:
     def _scan_batched(
         self, target_list: Sequence[int], result: ScanResult
     ) -> tuple[int, int]:
-        """Chunked scan loop over :meth:`SimulationEngine.probe_batch`.
+        """Chunked scan loop over :meth:`SimulationEngine.probe_columns`.
 
         Same probe order, times, and ids as :meth:`_scan_single` — the
         chunking is invisible in the results (the determinism regression
-        tests pin this).
+        tests pin this).  Each batch reuses one :class:`ProbeColumns`
+        buffer; :class:`ScanRecord` rows are built straight from the
+        packed columns, so the per-probe dataclasses never exist here.
         """
         config = self.config
         pps = config.pps
         hop_limit = config.hop_limit
         epoch_bits = self.engine.epoch << 32
-        probe_batch = self.engine.probe_batch
+        probe_columns = self.engine.probe_columns
         append_record = self._emit
         capture = self._capture
         every = config.progress_every if capture is not None else 0
@@ -314,6 +323,12 @@ class ZMapV6Scanner:
         last_position = -1
         loops_observed = 0
         probes_lost = 0
+        flag_looped = FLAG_LOOPED
+        flag_reply = FLAG_REPLY
+        cols = ProbeColumns()
+        # probe_ids exist only to decorrelate the loss draw; with loss off
+        # the engine never reads them, so skip building the column.
+        need_ids = self.engine.world.packet_loss > 0.0
         positions = self._probe_positions(len(target_list))
         while True:
             chunk = list(islice(positions, config.batch_size))
@@ -321,35 +336,48 @@ class ZMapV6Scanner:
                 break
             batch_targets = [target_list[index] for _, index in chunk]
             batch_times = [position / pps for position, _ in chunk]
-            batch_ids = [epoch_bits | index for _, index in chunk]
-            outcomes = probe_batch(
+            batch_ids = (
+                [epoch_bits | index for _, index in chunk] if need_ids else None
+            )
+            probe_columns(
                 batch_targets,
                 batch_times,
                 hop_limit=hop_limit,
                 probe_ids=batch_ids,
+                out=cols,
             )
             sent += len(chunk)
             last_position = chunk[-1][0]
-            for offset, outcome in enumerate(outcomes):
-                if outcome.looped:
-                    loops_observed += 1
-                if outcome.lost:
-                    probes_lost += 1
+            flags = cols.flags
+            source_hi = cols.source_hi
+            source_lo = cols.source_lo
+            icmp_col = cols.icmp_type
+            code_col = cols.code
+            count_col = cols.count
+            for offset in range(len(chunk)):
+                f = flags[offset]
+                if not f:  # probed, no reply — the common quiet row
                     continue
-                for reply in outcome.replies:
+                if f & flag_reply:
+                    if f & flag_looped:
+                        loops_observed += 1
                     append_record(
                         ScanRecord(
                             target=batch_targets[offset],
-                            source=reply.source,
-                            icmp_type=int(reply.icmp_type),
-                            code=reply.code,
-                            count=reply.count,
+                            source=(source_hi[offset] << 64) | source_lo[offset],
+                            icmp_type=icmp_col[offset],
+                            code=code_col[offset],
+                            count=count_col[offset],
                             time=batch_times[offset],
                         )
                     )
+                elif f & flag_looped:
+                    loops_observed += 1
+                else:  # FLAG_LOST
+                    probes_lost += 1
             if every:
                 progress = self._capture_batch_progress(
-                    capture, result, outcomes, batch_times, every, progress
+                    capture, result, cols, batch_times, every, progress
                 )
         result.loops_observed += loops_observed
         result.lost += probes_lost
@@ -359,30 +387,32 @@ class ZMapV6Scanner:
         self,
         capture: ShardTelemetry,
         result: ScanResult,
-        outcomes: Sequence[ProbeResult],
+        cols: ProbeColumns,
         batch_times: Sequence[float],
         every: int,
         progress: tuple[int, int, int, int],
     ) -> tuple[int, int, int, int]:
         """Emit the ``progress`` events a batch crosses.
 
-        A second pass over the batch outcomes, run only when telemetry is
-        on, so the record-building hot loop above stays untouched.  It
-        reconstructs the cumulative counters probe by probe (every
-        non-lost reply becomes exactly one record), which makes the
-        progress stream byte-identical to the per-probe path's for any
-        ``batch_size``.
+        A second pass over the batch's flag column, run only when
+        telemetry is on, so the record-building hot loop above stays
+        untouched.  It reconstructs the cumulative counters probe by
+        probe (every reply row becomes exactly one record), which makes
+        the progress stream byte-identical to the per-probe path's for
+        any ``batch_size``.
         """
         shard = self.config.shard
         sent, n_records, lost, loops = progress
-        for offset, outcome in enumerate(outcomes):
+        flags = cols.flags
+        for offset in range(cols.n):
+            f = flags[offset]
             sent += 1
-            if outcome.looped:
+            if f & FLAG_LOOPED:
                 loops += 1
-            if outcome.lost:
+            if f & FLAG_LOST:
                 lost += 1
-            else:
-                n_records += len(outcome.replies)
+            elif f & FLAG_REPLY:
+                n_records += 1
             if sent % every == 0:
                 capture.events.append(
                     make_event(

@@ -178,6 +178,23 @@ class TestHitlistFeedback:
         )
         assert report.added == 0
         assert report.rejected_aliased == 2
+        assert report.rejected_error_only == 1
+        assert report.considered == 3
+
+    def test_aliased_error_only_counted_as_aliased(self):
+        # The error-only source 300 sits inside the aliased prefix: it
+        # must count as rejected_aliased, exactly like an echo source
+        # would, not leak into rejected_error_only (the pre-fix code
+        # skipped the alias check for error-only sources).
+        hitlist = Hitlist()
+        alias_list = AliasedPrefixList([IPv6Prefix(256, 120)])  # covers 300
+        report = contribute_to_hitlist(
+            hitlist, [self._scan()], alias_list=alias_list
+        )
+        assert report.added == 2
+        assert report.rejected_aliased == 1
+        assert report.rejected_error_only == 0
+        assert report.considered == 3
 
     def test_extended_mode_includes_error_sources(self):
         hitlist = Hitlist()
@@ -290,6 +307,42 @@ class TestCLIs:
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
         assert "table2" in out and "fig8" in out
+
+    @pytest.mark.parametrize(
+        "flags,message",
+        [
+            (["--pps", "0"], "--pps must be positive"),
+            (["--pps", "-10"], "--pps must be positive"),
+            (["--batch-size", "0"], "--batch-size must be >= 1"),
+            (["--batch-size", "-2"], "--batch-size must be >= 1"),
+            (["--max-targets", "-5"], "--max-targets must be >= 0"),
+        ],
+    )
+    def test_sra_scan_rejects_bad_knobs(self, capsys, flags, message):
+        """Bad numeric knobs exit 2 with one stderr line, never a
+        traceback or a silently nonsense scan."""
+        from repro.scanner.cli import main
+
+        code = main(["--seed", "7", "--input-set", "bgp-plain", *flags])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err == f"sra-scan: {message}\n"
+
+    @pytest.mark.parametrize(
+        "flags,message",
+        [
+            (["--pps", "0"], "--pps must be positive"),
+            (["--pps", "-1"], "--pps must be positive"),
+            (["--batch-size", "0"], "--batch-size must be >= 1"),
+        ],
+    )
+    def test_sra_repro_rejects_bad_knobs(self, capsys, flags, message):
+        from repro.experiments.runner import main
+
+        code = main(["table2", "--scale", "quick", *flags])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err == f"sra-repro: {message}\n"
 
 
 class TestCampaignVariants:

@@ -93,6 +93,41 @@ class TestBatchPathEquivalence:
         assert batched == serial
         assert batch_engine.stats == serial_engine.stats
 
+    def test_probe_columns_match_serial_probe(self, tiny_world, stress_targets):
+        """Column-level contract: the packed verdict/source/TTL columns
+        hold, row for row, exactly what the per-probe dataclass path
+        produces — the columnar kernel vs dataclass bit-identity pin."""
+        from repro.netsim.engine import FLAG_LOOPED, FLAG_LOST, FLAG_REPLY
+
+        targets = stress_targets[:600]
+        times = [i / 150_000.0 for i in range(len(targets))]
+        ids = list(range(len(targets)))
+        serial_engine = SimulationEngine(tiny_world, epoch=2)
+        serial = [
+            serial_engine.probe(target, time, probe_id=probe_id)
+            for target, time, probe_id in zip(targets, times, ids)
+        ]
+        col_engine = SimulationEngine(tiny_world, epoch=2)
+        cols = col_engine.probe_columns(targets, times, probe_ids=ids)
+        assert cols.n == len(serial)
+        assert col_engine.stats == serial_engine.stats
+        for i, expected in enumerate(serial):
+            flags = cols.flags[i]
+            assert bool(flags & FLAG_LOST) == expected.lost, i
+            if expected.lost:
+                continue
+            assert bool(flags & FLAG_LOOPED) == expected.looped, i
+            assert bool(flags & FLAG_REPLY) == expected.replied, i
+            assert cols.transit[i] == expected.transit_hops, i
+            if expected.replied:
+                (reply,) = expected.replies
+                assert cols.source(i) == reply.source, i
+                assert cols.icmp_type[i] == int(reply.icmp_type), i
+                assert cols.code[i] == reply.code, i
+                assert cols.count[i] == reply.count, i
+                rid = cols.router_id[i]
+                assert (None if rid < 0 else rid) == reply.router_id, i
+
 
 class TestFig5Determinism:
     """Fig. 5 campaign: single-probe vs batched vs sharded."""
@@ -687,3 +722,49 @@ class TestCrashResumeDeterminism:
                 expected.result
             ), name
         assert resumed.table2_rows() == baseline.table2_rows()
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_fig5_campaign_interrupt_and_resume(
+        self, tiny_world, tiny_hitlist, tmp_path, shards
+    ):
+        """The Fig. 5 SRA-vs-random campaign, killed mid-epoch and
+        resumed from its checkpoint directory: identical series."""
+        from repro.netsim.faults import ChaosEngine, FaultPlan
+        from repro.scanner.sharded import ScanInterrupted
+
+        sra_targets = tiny_hitlist.unique_slash64s()[:1200]
+        checkpoint_dir = tmp_path / "journals"
+        checkpoint_dir.mkdir()
+
+        def campaign(runner):
+            series = run_sra_vs_random(
+                tiny_world, sra_targets, epochs=2, runner=runner
+            )
+            return [
+                scan_snapshot(scan.result)
+                for scan in series.sra + series.random
+            ]
+
+        def runner(chaos=None):
+            return ShardedScanRunner(
+                tiny_world,
+                shards=shards,
+                executor="thread",
+                retry_backoff=0.0,
+                checkpoint_dir=checkpoint_dir,
+                chaos=chaos,
+            )
+
+        baseline = campaign(
+            ShardedScanRunner(tiny_world, shards=shards, executor="thread")
+        )
+        chaos = ChaosEngine(
+            plan=FaultPlan(interrupt_after_shards=max(1, shards // 2))
+        )
+        with pytest.raises(ScanInterrupted):
+            campaign(runner(chaos=chaos))
+        assert list(checkpoint_dir.glob("*.ckpt"))
+        # Re-running the same campaign auto-resumes from the journals.
+        resumed = campaign(runner())
+        assert not list(checkpoint_dir.glob("*.ckpt"))
+        assert resumed == baseline

@@ -329,3 +329,84 @@ class TestStochasticProperties:
         b = stable_unit(seed, b"purpose", *keys)
         assert a == b
         assert 0.0 <= a < 1.0
+
+
+class TestContributionProperties:
+    """Accounting invariants of ``contribute_to_hitlist``.
+
+    Pins the fixed tally semantics: every distinct candidate source is
+    counted exactly once, and the alias verdict is applied before (and
+    identically regardless of) the echo/error-only distinction.
+    """
+
+    sources = st.sets(st.integers(min_value=0, max_value=511), max_size=40)
+
+    @staticmethod
+    def _scan(echo, error):
+        from repro.scanner.records import ScanRecord, ScanResult
+
+        result = ScanResult(
+            name="scan", epoch=0, sent=len(echo | error), duration=1.0
+        )
+        result.records = [
+            ScanRecord(target=s, source=s, icmp_type=129, code=0, time=0.0)
+            for s in sorted(echo)
+        ] + [
+            ScanRecord(target=s, source=s, icmp_type=1, code=3, time=0.0)
+            for s in sorted(error)
+        ]
+        return result
+
+    @staticmethod
+    def _contribute(echo, error, **kwargs):
+        from repro.analysis.hitlist_feedback import contribute_to_hitlist
+        from repro.hitlist.hitlist import Hitlist
+
+        scan = TestContributionProperties._scan(echo, error)
+        return contribute_to_hitlist(Hitlist(), [scan], **kwargs)
+
+    @staticmethod
+    def _aliases():
+        from repro.hitlist.aliases import AliasedPrefixList
+
+        # Aliased region = addresses 0..127, a deterministic boundary the
+        # strategies straddle.
+        return AliasedPrefixList([IPv6Prefix(0, 121)])
+
+    @given(echo=sources, error=sources, include=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_considered_counts_every_candidate(self, echo, error, include):
+        report = self._contribute(
+            echo,
+            error,
+            alias_list=self._aliases(),
+            include_error_sources=include,
+        )
+        # considered == |echo ∪ error_only| == |echo ∪ error|: every
+        # distinct source lands in exactly one tally bucket.
+        assert report.considered == len(echo | error)
+        assert report.added == len(report.new_addresses)
+        assert report.already_known == 0  # fresh hitlist each run
+
+    @given(echo=sources, error=sources)
+    @settings(max_examples=60, deadline=None)
+    def test_alias_rejection_ignores_reply_type(self, echo, error):
+        """Swapping which replies are echo vs error must not move a
+        single address between the aliased tally and any other."""
+        forward = self._contribute(echo, error, alias_list=self._aliases())
+        swapped = self._contribute(error, echo, alias_list=self._aliases())
+        expected = len({s for s in echo | error if s < 128})
+        assert forward.rejected_aliased == expected
+        assert swapped.rejected_aliased == expected
+        assert forward.considered == swapped.considered
+
+    @given(echo=sources, error=sources)
+    @settings(max_examples=60, deadline=None)
+    def test_tallies_partition_exactly(self, echo, error):
+        report = self._contribute(echo, error, alias_list=self._aliases())
+        error_only = error - echo
+        assert report.rejected_error_only == len(
+            {s for s in error_only if s >= 128}
+        )
+        assert report.added == len({s for s in echo if s >= 128})
+        assert sorted(report.new_addresses) == report.new_addresses

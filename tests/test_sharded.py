@@ -124,6 +124,18 @@ class TestPacedPps:
     def test_paces_to_duration(self):
         assert paced_pps(6000, 6.0, 50_000.0) == pytest.approx(1000.0)
 
+    @pytest.mark.parametrize("ceiling", [0.0, -1.0, -50_000.0])
+    def test_nonpositive_ceiling_raises(self, ceiling):
+        """A zero/negative ceiling used to leak through as a nonsense
+        probe rate; now it is rejected at the door."""
+        with pytest.raises(ValueError, match="ceiling must be positive"):
+            paced_pps(1000, 6.0, ceiling)
+        # Even in the "pacing disabled" corners the ceiling is validated.
+        with pytest.raises(ValueError, match="ceiling must be positive"):
+            paced_pps(0, 6.0, ceiling)
+        with pytest.raises(ValueError, match="ceiling must be positive"):
+            paced_pps(1000, 0.0, ceiling)
+
 
 class TestMergeResults:
     def _result(self, *, epoch, duration, sent=4):
@@ -454,6 +466,145 @@ class TestWindowValidation:
                 name="scan",
                 epoch=2,
             )
+
+
+class TestShmRingTransport:
+    """The shared-memory shard→merge channel: payload fidelity, segment
+    lifetime, pickle fallback, and parent-side transport accounting."""
+
+    def _outcome(self, world, targets, shard=0, shards=2):
+        return scan_shard(
+            world,
+            ScanConfig(pps=200_000.0, seed=5),
+            targets,
+            name="scan",
+            epoch=2,
+            shard=shard,
+            shards=shards,
+        )
+
+    @staticmethod
+    def _segment_gone(name):
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_pack_drain_round_trip(self, tiny_world, stress_targets):
+        from repro.scanner.shmring import (
+            RingStats,
+            drain_outcome,
+            pack_outcome,
+        )
+
+        outcome = self._outcome(tiny_world, stress_targets)
+        expected_records = list(outcome.result.records)
+        expected_checks = list(outcome.checks)
+        assert expected_records and expected_checks
+
+        assert pack_outcome(outcome) is True
+        # The payload now lives in the frame, not the pickled outcome.
+        assert outcome.result.records == []
+        assert outcome.checks == []
+        assert outcome.ring is not None
+        assert outcome.ring.records == len(expected_records)
+        assert outcome.ring.checks == len(expected_checks)
+        name = outcome.ring.name
+
+        stats = RingStats()
+        drain_outcome(outcome, stats)
+        assert outcome.result.records == expected_records
+        assert outcome.checks == expected_checks
+        assert outcome.ring is None
+        assert stats.segments == 1
+        assert stats.records == len(expected_records)
+        assert stats.checks == len(expected_checks)
+        assert stats.bytes > 0
+        assert stats.fallbacks == 0
+        self._segment_gone(name)  # parent unlinked on drain
+
+    def test_drain_is_idempotent(self, tiny_world, stress_targets):
+        from repro.scanner.shmring import (
+            RingStats,
+            drain_outcome,
+            pack_outcome,
+        )
+
+        outcome = self._outcome(tiny_world, stress_targets)
+        expected = list(outcome.result.records)
+        pack_outcome(outcome)
+        stats = RingStats()
+        drain_outcome(outcome, stats)
+        drain_outcome(outcome, stats)  # no frame left: must be a no-op
+        assert outcome.result.records == expected
+        assert stats.segments == 1
+
+    def test_unavailable_platform_falls_back_to_pickle(
+        self, tiny_world, stress_targets, monkeypatch
+    ):
+        from repro.scanner import shmring
+
+        monkeypatch.setattr(shmring, "shared_memory", None)
+        assert not shmring.ring_available()
+        outcome = self._outcome(tiny_world, stress_targets)
+        expected = list(outcome.result.records)
+        assert shmring.pack_outcome(outcome) is False
+        # Fallback leaves the payload on the ordinary pickled path.
+        assert outcome.ring is None
+        assert outcome.ring_fallback is True
+        assert outcome.result.records == expected
+        monkeypatch.undo()
+        stats = shmring.RingStats()
+        shmring.drain_outcome(outcome, stats)
+        assert outcome.result.records == expected
+        assert stats.fallbacks == 1
+        assert stats.segments == 0
+
+    def test_release_unlinks_undrained_frame(self, tiny_world, stress_targets):
+        from repro.scanner.shmring import pack_outcome, release_outcome
+
+        outcome = self._outcome(tiny_world, stress_targets)
+        pack_outcome(outcome)
+        name = outcome.ring.name
+        release_outcome(outcome)
+        assert outcome.ring is None
+        self._segment_gone(name)
+        release_outcome(outcome)  # second release is a harmless no-op
+
+    def test_process_pool_rides_the_ring(self, tiny_world):
+        """End to end: a process-pool scan ships every shard through the
+        ring (no fallbacks), matches the serial scan byte for byte, and
+        leaves nothing behind in shared memory."""
+        targets = list(bgp_plain_targets(tiny_world.bgp))[:300]
+        serial = serial_scan(tiny_world, targets, epoch=1, pps=50_000.0)
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="process")
+        merged = runner.scan(
+            targets, ScanConfig(pps=50_000.0, seed=5), name="scan", epoch=1
+        )
+        assert merged.records == serial.records
+        assert merged.engine_stats == serial.engine_stats
+        stats = runner.ring_stats
+        assert stats.segments == 2
+        assert stats.fallbacks == 0
+        # Frames carry the shards' provisional records; the merge then
+        # prunes the ones the serial-order rate limiter suppresses.
+        assert stats.records == (
+            len(serial.records) + serial.engine_stats.suppressed_errors
+        )
+        assert stats.bytes > 0
+
+    def test_thread_executor_never_packs(self, tiny_world, stress_targets):
+        """Same-process shards have nothing to transport: the ring stays
+        untouched and results are unchanged."""
+        runner = ShardedScanRunner(tiny_world, shards=3, executor="thread")
+        runner.scan(
+            stress_targets,
+            ScanConfig(pps=200_000.0, seed=5),
+            name="scan",
+            epoch=2,
+        )
+        assert runner.ring_stats.segments == 0
+        assert runner.ring_stats.fallbacks == 0
 
 
 class TestSurveyParallel:
