@@ -1,0 +1,327 @@
+"""World-scale benchmark: streamed artifact builds vs eager object graphs.
+
+The artifact refactor's claim is that world *generation* memory no longer
+scales with router count: ``build_world_artifact`` streams periphery
+routers and subnets to disk as each AS is populated, so peak RSS is
+bounded by the pinned core (border routers, BGP table, AS paths — all
+O(AS count)) while the eager ``build_world`` path holds every router and
+subnet at once.  A second claim rides along: shard workers of an
+artifact-backed world bootstrap from a pickled :class:`WorldRef` (a path
+plus a fingerprint, O(KB)) instead of a pickled world (O(world)).
+
+Because ``ru_maxrss``/``VmHWM`` are lifetime-monotonic *per process*,
+each (mode, scale) cell is measured in a fresh subprocess; the parent
+only orchestrates.  Scales are AS counts under a router-dense config
+(~31 routers per AS), so the default sweep tops out above the 100k-router
+paper magnitude:
+
+    PYTHONPATH=src python benchmarks/world_scale.py
+    PYTHONPATH=src python benchmarks/world_scale.py --ases 200 \
+        --check benchmarks/results/BENCH_world.json
+
+Gates (CI smoke-perf runs the small scale only):
+
+* **flat generation RSS** — the streamed build's peak stays under
+  ``--max-stream-fraction`` of the eager build's peak at the same scale
+  (plus a ``--slack`` floor for allocator noise at small scales),
+* **O(KB) bootstrap** — the pickled ``WorldRef`` stays under 4 KiB,
+* **no regression** — with ``--check``, build time and peak RSS at
+  scales present in the committed baseline must stay within
+  ``--max-time-ratio`` / ``--max-rss-ratio`` of the recorded values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_world.json"
+DEFAULT_ASES = (200, 1000, 3400)  # 3400 ASes ≈ 107k routers
+DEFAULT_STREAM_FRACTION = 0.75
+DEFAULT_SLACK_MIB = 32.0
+DEFAULT_TIME_RATIO = 2.0
+DEFAULT_RSS_RATIO = 1.5
+BOOTSTRAP_CEILING_BYTES = 4096
+
+
+def peak_rss_mib() -> float:
+    """Lifetime peak resident set size of this process, in MiB."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def bench_config(ases: int, seed: int):
+    """A router-dense world config: ~31 routers per AS.
+
+    The stock config aggregates many subnets onto BNG-style routers;
+    turning the aggregation tail off shifts the same subnet count onto
+    many more routers, which is the dimension this benchmark scales.
+    """
+    from repro.topology.config import WorldConfig
+
+    return WorldConfig(
+        seed=seed,
+        num_ases=ases,
+        num_tier1=10,
+        num_tier2=110,
+        subnets_per_router_tail=0.0,
+        max_subnets_per_router=4,
+        single_router_as_fraction=0.0,
+    )
+
+
+# --------------------------------------------------------------------- #
+# child: one measurement per process
+# --------------------------------------------------------------------- #
+
+
+def measure(mode: str, ases: int, seed: int) -> dict:
+    import pickle
+
+    from repro.topology.artifact import world_payload
+    from repro.topology.generator import build_world, build_world_artifact
+
+    config = bench_config(ases, seed)
+    stats: dict = {"mode": mode, "ases": ases}
+    start = time.perf_counter()
+    if mode == "eager":
+        world = build_world(config)
+        stats["build_seconds"] = round(time.perf_counter() - start, 3)
+        stats["bootstrap_bytes"] = len(pickle.dumps(world))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "bench.sraw"
+            world = build_world_artifact(config, path)
+            stats["build_seconds"] = round(time.perf_counter() - start, 3)
+            stats["artifact_bytes"] = path.stat().st_size
+            stats["bootstrap_bytes"] = len(pickle.dumps(world_payload(world)))
+    stats["routers"] = len(world.routers)
+    stats["subnets"] = len(world.subnets)
+    stats["peak_mib"] = round(peak_rss_mib(), 2)
+    return stats
+
+
+# --------------------------------------------------------------------- #
+# parent: orchestration, reporting, regression gate
+# --------------------------------------------------------------------- #
+
+
+def _measure_in_subprocess(mode: str, ases: int, seed: int) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    output = subprocess.run(
+        [
+            sys.executable,
+            __file__,
+            "--measure",
+            mode,
+            "--ases",
+            str(ases),
+            "--seed",
+            str(seed),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    return json.loads(output.stdout.strip().splitlines()[-1])
+
+
+def run_benchmark(as_counts: list[int], seed: int) -> dict:
+    report: dict = {
+        "meta": {
+            "seed": seed,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "runs": [],
+    }
+    for ases in as_counts:
+        row: dict = {"ases": ases}
+        for mode in ("eager", "stream"):
+            stats = _measure_in_subprocess(mode, ases, seed)
+            row[mode] = {
+                key: stats[key]
+                for key in (
+                    "build_seconds",
+                    "peak_mib",
+                    "bootstrap_bytes",
+                    "routers",
+                    "subnets",
+                    "artifact_bytes",
+                )
+                if key in stats
+            }
+            extra = (
+                f"  artifact {stats['artifact_bytes'] / 2**20:>7.1f} MiB"
+                if "artifact_bytes" in stats
+                else ""
+            )
+            print(
+                f"{mode:<7} {ases:>6} ASes  {stats['routers']:>9,} routers"
+                f"  {stats['build_seconds']:>7.2f}s"
+                f"  {stats['peak_mib']:>8.1f} MiB peak"
+                f"  bootstrap {stats['bootstrap_bytes']:>12,} B{extra}"
+            )
+        report["runs"].append(row)
+    return report
+
+
+def check_invariant(
+    report: dict, stream_fraction: float, slack_mib: float
+) -> list[str]:
+    """Flat-RSS and O(KB)-bootstrap guarantees, per scale."""
+    failures = []
+    for row in report["runs"]:
+        eager_peak = row["eager"]["peak_mib"]
+        stream_peak = row["stream"]["peak_mib"]
+        ceiling = stream_fraction * eager_peak + slack_mib
+        verdict = "ok" if stream_peak <= ceiling else "EXCEEDED"
+        print(
+            f"check {row['ases']:>6} ASes: stream {stream_peak:.1f} MiB vs "
+            f"ceiling {ceiling:.1f} MiB ({stream_fraction:.0%} of eager "
+            f"{eager_peak:.1f} MiB, slack {slack_mib:.0f}) {verdict}"
+        )
+        if stream_peak > ceiling:
+            failures.append(
+                f"{row['ases']} ASes: stream peak {stream_peak:.1f} MiB "
+                f"> {ceiling:.1f} MiB"
+            )
+        ref_bytes = row["stream"]["bootstrap_bytes"]
+        if ref_bytes > BOOTSTRAP_CEILING_BYTES:
+            failures.append(
+                f"{row['ases']} ASes: WorldRef bootstrap {ref_bytes} B "
+                f"> {BOOTSTRAP_CEILING_BYTES} B"
+            )
+    return failures
+
+
+def compare_baseline(
+    report: dict, baseline_path: Path, time_ratio: float, rss_ratio: float
+) -> list[str]:
+    """Regression gate against the committed baseline at matching scales.
+
+    Build time gets a generous ratio (CI machines vary); peak RSS is a
+    property of the code, so its ratio is tighter.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    committed = {row["ases"]: row for row in baseline.get("runs", [])}
+    failures = []
+    for row in report["runs"]:
+        reference = committed.get(row["ases"])
+        if reference is None:
+            continue
+        for mode in ("eager", "stream"):
+            now = row[mode]
+            then = reference[mode]
+            time_ceiling = then["build_seconds"] * time_ratio
+            rss_ceiling = then["peak_mib"] * rss_ratio
+            print(
+                f"vs committed {row['ases']:>6} ASes [{mode}]: "
+                f"{now['build_seconds']:.2f}s vs {time_ceiling:.2f}s ceiling, "
+                f"{now['peak_mib']:.1f} MiB vs {rss_ceiling:.1f} MiB ceiling"
+            )
+            if now["build_seconds"] > time_ceiling:
+                failures.append(
+                    f"{row['ases']} ASes {mode}: build {now['build_seconds']:.2f}s "
+                    f"> {time_ceiling:.2f}s ({time_ratio:.1f}x committed)"
+                )
+            if now["peak_mib"] > rss_ceiling:
+                failures.append(
+                    f"{row['ases']} ASes {mode}: peak {now['peak_mib']:.1f} MiB "
+                    f"> {rss_ceiling:.1f} MiB ({rss_ratio:.1f}x committed)"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--measure",
+        choices=("eager", "stream"),
+        default=None,
+        help=argparse.SUPPRESS,  # internal: child-process mode
+    )
+    parser.add_argument(
+        "--ases",
+        type=int,
+        nargs="+",
+        default=None,
+        help="AS counts to sweep (default: 200/1000/3400; 3400 ≈ 107k routers)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--max-stream-fraction", type=float, default=DEFAULT_STREAM_FRACTION
+    )
+    parser.add_argument("--slack", type=float, default=DEFAULT_SLACK_MIB)
+    parser.add_argument("--max-time-ratio", type=float, default=DEFAULT_TIME_RATIO)
+    parser.add_argument("--max-rss-ratio", type=float, default=DEFAULT_RSS_RATIO)
+    parser.add_argument("--output", type=Path, default=DEFAULT_RESULTS)
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure only, keep baseline file"
+    )
+    parser.add_argument(
+        "--check",
+        nargs="?",
+        type=Path,
+        const=DEFAULT_RESULTS,
+        default=None,
+        help="verify the flat-RSS/O(KB)-bootstrap invariants and gate "
+        "build time + peak RSS against this committed baseline; exit 1 "
+        "on breach",
+    )
+    args = parser.parse_args(argv)
+
+    if args.measure is not None:
+        if not args.ases or len(args.ases) != 1:
+            parser.error("--measure needs exactly one --ases value")
+        stats = measure(args.measure, args.ases[0], args.seed)
+        print(json.dumps(stats))
+        return 0
+
+    as_counts = list(args.ases) if args.ases else list(DEFAULT_ASES)
+    report = run_benchmark(as_counts, args.seed)
+    write = not args.no_write and (
+        args.check is None or args.output != DEFAULT_RESULTS
+    )
+    if write:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    failures = check_invariant(report, args.max_stream_fraction, args.slack)
+    if args.check is not None and args.check.exists():
+        failures += compare_baseline(
+            report, args.check, args.max_time_ratio, args.max_rss_ratio
+        )
+    if failures:
+        print("world-scale invariant violated:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,3 +208,13 @@ class LengthIndexedLPM(Generic[V]):
         for length in sorted(self._by_length):
             for network in sorted(self._by_length[length]):
                 yield IPv6Prefix(network, length), self._by_length[length][network]
+
+    def frozen(self, *, cache_size: int | None = None):
+        """A read-only :class:`~repro.bgp.frozenfib.FrozenLPM` snapshot of
+        the current contents: sorted array columns instead of dicts,
+        shareable across shard workers, lookups pinned bit-identical."""
+        from .frozenfib import FrozenLPM
+
+        if cache_size is None:
+            cache_size = self._cache_size
+        return FrozenLPM.freeze(self, cache_size=cache_size)

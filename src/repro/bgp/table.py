@@ -94,6 +94,16 @@ class BGPTable:
         """True if an announcement covers ``prefix`` (shorter only if strict)."""
         return self._trie.has_cover(prefix, strict=strict)
 
+    def freeze_lookups(self) -> None:
+        """Swap the LPM index for a frozen array-backed snapshot.
+
+        Lookups (``origin_of``, ``lpm.longest_match_batch``, …) stay
+        bit-identical; :meth:`add`/:meth:`withdraw` raise afterwards.
+        Artifact-loaded worlds call this — their tables are static and the
+        frozen columns are cheaper to keep per worker than dicts.
+        """
+        self._trie = self._trie.frozen()  # type: ignore[assignment]
+
     def more_specifics(self, prefix: IPv6Prefix) -> list[Announcement]:
         """Announcements strictly more specific than ``prefix``."""
         return sorted(

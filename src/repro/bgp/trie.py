@@ -270,3 +270,13 @@ class PrefixTrie(Generic[V]):
     def items(self) -> Iterator[tuple[IPv6Prefix, V]]:
         """All (prefix, value) pairs in depth-first (address) order."""
         yield from self.covered_by(IPv6Prefix(0, 0))
+
+    def frozen(self, *, cache_size: int | None = None):
+        """A read-only :class:`~repro.bgp.frozenfib.FrozenLPM` snapshot:
+        the trie's contents as sorted array columns, with ``longest_match``
+        / ``longest_match_batch`` pinned bit-identical."""
+        from .frozenfib import FrozenLPM
+
+        if cache_size is None:
+            cache_size = self._cache_size
+        return FrozenLPM.freeze(self, cache_size=cache_size)

@@ -68,13 +68,28 @@ class ExperimentScale:
     ixp_sample_rate: int = 256
 
 
-def _auto_shards(limit: int = 4) -> int:
-    """Shard count for experiment contexts: one per core, capped.
+def _auto_shards(limit: int | None = None) -> int:
+    """Shard count for experiment contexts: one per core by default.
 
     Sharded merges are deterministic, so any value yields identical
-    tables/figures — this only tunes wall-clock time.
+    tables/figures — this only tunes wall-clock time.  The
+    ``SRA_MAX_SHARDS`` environment variable pins the count outright
+    (CI runners and shared hosts advertise far more CPUs than they
+    should be saturated with); otherwise every core gets a shard, up to
+    ``limit`` when a caller passes one.
     """
-    return max(1, min(limit, os.cpu_count() or 1))
+    env = os.environ.get("SRA_MAX_SHARDS")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"SRA_MAX_SHARDS must be an integer, got {env!r}"
+            ) from None
+    cores = os.cpu_count() or 1
+    if limit is not None:
+        cores = min(limit, cores)
+    return max(1, cores)
 
 
 def quick_scale(seed: int = 2024) -> ExperimentScale:

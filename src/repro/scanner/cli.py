@@ -220,12 +220,28 @@ def main(argv: list[str] | None = None) -> int:
         help="retry a crashed shard up to N times on a fresh pool "
         "(bounded exponential backoff) before giving up",
     )
+    parser.add_argument(
+        "--world-artifact",
+        metavar="PATH",
+        help="stream the world into (or load it from) a binary artifact "
+        "at PATH instead of holding it in memory: generation runs in a "
+        "flat RSS, shard workers bootstrap from the mmap'd file (O(KB) "
+        "payload) and share its pages. An existing artifact is reused if "
+        "its config fingerprint matches, rebuilt in place otherwise; "
+        "scan output is byte-identical either way",
+    )
     parser.add_argument("--pcap", help="also write raw traffic as pcap")
     parser.add_argument(
         "--telemetry-out", help="write the scan's JSONL event stream here"
     )
     parser.add_argument(
         "--metrics-out", help="write Prometheus-text metrics here"
+    )
+    parser.add_argument(
+        "--ring-stats-out",
+        metavar="PATH",
+        help="write the runner's shared-memory transport counters "
+        "(segments/bytes/records/checks/fallbacks) as JSON here",
     )
     parser.add_argument(
         "--progress-every",
@@ -276,7 +292,9 @@ def main(argv: list[str] | None = None) -> int:
             ("--pcap", args.pcap),
             ("--telemetry-out", args.telemetry_out),
             ("--metrics-out", args.metrics_out),
+            ("--ring-stats-out", args.ring_stats_out),
             ("--checkpoint", args.checkpoint),
+            ("--world-artifact", args.world_artifact),
         ]
     )
     if problem is not None:
@@ -284,7 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     config = tiny_config(args.seed) if args.world == "tiny" else WorldConfig(seed=args.seed)
-    world = build_world(config)
+    if args.world_artifact:
+        world = _artifact_world(config, args.world_artifact)
+    else:
+        world = build_world(config)
     targets = build_targets(
         world, args.input_set, max_targets=args.max_targets, seed=args.seed
     )
@@ -363,6 +384,12 @@ def main(argv: list[str] | None = None) -> int:
             telemetry.write_jsonl(args.telemetry_out)
         if args.metrics_out:
             telemetry.write_prometheus(args.metrics_out)
+    if args.ring_stats_out:
+        import json
+
+        Path(args.ring_stats_out).write_text(
+            json.dumps(runner.ring_stats.as_dict(), indent=2) + "\n"
+        )
     if sink is None:
         if args.output:
             result.write_csv(args.output)
@@ -403,6 +430,29 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 3
     return 0
+
+
+def _artifact_world(config, path: str):
+    """Load (or build) the artifact-backed world for ``--world-artifact``.
+
+    Reuses an existing artifact only when its fingerprint matches the
+    requested config — a stale file from another seed/world silently
+    producing different scans would be worse than the rebuild.
+    """
+    from ..topology.artifact import build_fingerprint, load_world_artifact
+    from ..topology.generator import build_world_artifact
+
+    wanted = build_fingerprint(config)
+    if Path(path).exists():
+        world = load_world_artifact(path)
+        if world.artifact_fingerprint == wanted:
+            return world
+        print(
+            f"sra-scan: {path}: artifact is for a different world config; "
+            "rebuilding",
+            file=sys.stderr,
+        )
+    return build_world_artifact(config, path)
 
 
 def peak_rss_mib() -> float:

@@ -52,6 +52,7 @@ from ..telemetry.scan import (
     merge_first_times,
     retract_record,
 )
+from ..topology.artifact import WorldRef, resolve_world_ref, world_payload
 from ..topology.entities import World
 from .checkpoint import (
     ScanCheckpoint,
@@ -455,15 +456,21 @@ def _release_ring_futures(futures: Iterable[Future]) -> None:
 
 # ---------------------------------------------------------------------- #
 # process-pool plumbing: ship world + targets once per worker, not once
-# per shard task.
+# per shard task.  Artifact-backed worlds don't ship at all — the
+# initializer receives a WorldRef (path + fingerprint, O(KB) pickled) and
+# each worker mmaps the artifact, sharing its pages with every sibling.
 # ---------------------------------------------------------------------- #
 
 _WORKER_WORLD: World | None = None
 _WORKER_TARGETS: Sequence[int] | None = None
 
 
-def _init_worker(world: World, targets: "Sequence[int] | StreamSpec") -> None:
+def _init_worker(
+    world: "World | WorldRef", targets: "Sequence[int] | StreamSpec"
+) -> None:
     global _WORKER_WORLD, _WORKER_TARGETS
+    if isinstance(world, WorldRef):
+        world = resolve_world_ref(world)
     _WORKER_WORLD = world
     if isinstance(targets, StreamSpec):
         # Spec-shipped streams are rebuilt once per worker process; the
@@ -578,6 +585,47 @@ class ShardedScanRunner:
         self._interrupted = True
 
     def scan(
+        self,
+        targets: Sequence[int] | Iterable[int],
+        config: ScanConfig | None = None,
+        *,
+        name: str = "scan",
+        epoch: int = 0,
+        telemetry: ScanTelemetry | None = None,
+        sink: RecordSink | None = None,
+        checkpoint: "str | Path | None" = None,
+        resume: bool = False,
+        chaos: ChaosEngine | None = None,
+    ) -> ScanResult:
+        """See :meth:`_scan`; this wrapper also folds the scan's
+        shared-memory transport deltas into the telemetry ops channel
+        (``sra_scan_ring_*`` counters), win or lose."""
+        effective = telemetry if telemetry is not None else self.telemetry
+        before = self.ring_stats.as_dict()
+        try:
+            return self._scan(
+                targets,
+                config,
+                name=name,
+                epoch=epoch,
+                telemetry=telemetry,
+                sink=sink,
+                checkpoint=checkpoint,
+                resume=resume,
+                chaos=chaos,
+            )
+        finally:
+            if effective is not None:
+                after = self.ring_stats.as_dict()
+                effective.ring_stats_updated(
+                    scan=name,
+                    epoch=epoch,
+                    stats={
+                        key: after[key] - before[key] for key in after
+                    },
+                )
+
+    def _scan(
         self,
         targets: Sequence[int] | Iterable[int],
         config: ScanConfig | None = None,
@@ -726,7 +774,7 @@ class ShardedScanRunner:
             pool: Executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.world, payload),
+                initargs=(world_payload(self.world), payload),
             )
             with pool:
                 futures = [
@@ -1029,7 +1077,7 @@ class ShardedScanRunner:
             pool: Executor = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_worker,
-                initargs=(self.world, payload),
+                initargs=(world_payload(self.world), payload),
             )
             for shard in pending:
                 future = pool.submit(

@@ -58,10 +58,11 @@ EVENT_TYPES = (
     "rate_limit_engaged",
     "shard_finished",
     "scan_finished",
-    # operational (crash-recovery) stream
+    # operational (crash-recovery / transport) stream
     "scan_checkpointed",
     "shard_retried",
     "scan_resumed",
+    "ring_stats",
 )
 
 __all__ = [

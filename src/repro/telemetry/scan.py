@@ -115,6 +115,31 @@ CHECKPOINTS_TOTAL = "sra_scan_checkpoints_total"
 SHARD_RETRIES_TOTAL = "sra_scan_shard_retries_total"
 RESUMES_TOTAL = "sra_scan_resumes_total"
 SHARDS_SALVAGED_TOTAL = "sra_scan_shards_salvaged_total"
+# Shared-memory shard-transport counters (also ops-channel: they describe
+# how this process moved bytes, not what the scan found).  Names mirror
+# RingStats fields: sra_scan_ring_<field>_total.
+RING_COUNTERS = {
+    "segments": (
+        "sra_scan_ring_segments_total",
+        "shared-memory frames shipped by shard workers",
+    ),
+    "bytes": (
+        "sra_scan_ring_bytes_total",
+        "bytes moved through shared-memory frames",
+    ),
+    "records": (
+        "sra_scan_ring_records_total",
+        "scan records transported via shared memory",
+    ),
+    "checks": (
+        "sra_scan_ring_checks_total",
+        "rate-limit checks transported via shared memory",
+    ),
+    "fallbacks": (
+        "sra_scan_ring_fallbacks_total",
+        "shard outcomes that fell back to pickle transport",
+    ),
+}
 
 
 class HotPathCollector:
@@ -527,6 +552,32 @@ class ScanTelemetry:
             SHARDS_SALVAGED_TOTAL,
             "completed shards salvaged from checkpoints instead of re-run",
         ).inc(completed)
+
+    def ring_stats_updated(
+        self, *, scan: str, epoch: int, stats: dict[str, int]
+    ) -> None:
+        """Fold one scan's shared-memory transport deltas into the ops
+        channel (one ``ring_stats`` event plus ``sra_scan_ring_*``
+        counters).  The sharded runner calls this with per-scan deltas of
+        its cumulative :class:`~repro.scanner.shmring.RingStats`; all-zero
+        deltas (thread/serial executors, pickle fallback) are skipped so
+        ops exports stay unchanged for scans that never touched a ring.
+        """
+        if not any(stats.get(field, 0) for field in RING_COUNTERS):
+            return
+        self.emit_ops(
+            make_event(
+                "ring_stats",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                **{field: stats.get(field, 0) for field in RING_COUNTERS},
+            )
+        )
+        for field, (name, help_text) in RING_COUNTERS.items():
+            self.ops_registry.counter(name, help_text).inc(
+                stats.get(field, 0)
+            )
 
     # ------------------------------------------------------------------ #
     # registry plumbing

@@ -1,0 +1,964 @@
+"""Binary world artifacts: disk-bounded worlds, mmap'd and lazily loaded.
+
+The object graph a :class:`~repro.topology.entities.World` materialises —
+one ``Router`` per router, one ``Subnet`` per /64, a resolution index of
+dict tables — caps world size at available RAM twice over: once while the
+generator builds it and once more per shard worker when the sharded
+runner pickles the world into every process.  This module removes both
+walls:
+
+* :class:`WorldArtifactWriter` packs routers, subnets, hosts and the
+  resolution index into flat little-endian sections of one versioned
+  file.  The generator streams periphery entities into it *as they are
+  finished* (see ``build_world_artifact``), so generation peak RSS is
+  bounded by the per-AS working set, not the world size.
+* :func:`load_world_artifact` memory-maps the file and returns a
+  ``World`` whose ``routers``/``subnets`` are lazy read-only maps
+  (entities materialise on first touch and are cached by identity) and
+  whose ``resolution`` is a :class:`~repro.bgp.frozenfib.FrozenLPM`
+  whose key columns are zero-copy ``memoryview`` casts straight into the
+  mmap — every shard worker shares the same physical pages.
+* :class:`WorldRef` is the O(KB) worker bootstrap: the sharded runner
+  ships ``(path, fingerprint)`` instead of the pickled world and each
+  worker resolves it through a per-process cache
+  (:func:`resolve_world_ref`).
+
+File layout (all little-endian, sections 8-byte aligned)::
+
+    header:   magic "SRAWRLD1" | version u16 | section count u16
+              | seed i64 | config fingerprint (sha256, 32 bytes)
+    table:    per section: name (16s) | offset u64 | length u64
+    sections: meta (JSON) | small (pickle of the O(#ASes) parts)
+              | routers | router_var | router_index
+              | subnets | subnet_hosts | subnet_index | resolution
+
+"Small" parts — ASes, transit paths, infra subnets, loop/alias regions,
+the BGP table and the IRR — are O(#ASes) and travel as one pickle
+section; the O(#routers) parts are fixed-stride packed records plus u64
+word columns.  128-bit addresses are stored as (hi, lo) u64 pairs, the
+same packing as the columnar probe path.
+
+Determinism contract: ``load_world_artifact(save_world(w)).`` scans
+byte-identically to ``w`` — entity field values round-trip exactly
+(ints and IEEE doubles, no text formats), map iteration orders are
+preserved, and the frozen resolution index is pinned bit-identical to
+the mutable one.  tests/test_artifact.py holds the pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import mmap
+import os
+import pickle
+import shutil
+import struct
+import sys
+from array import array
+from bisect import bisect_left, bisect_right
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..addr.ipv6 import IPv6Prefix
+from ..bgp.frozenfib import FrozenLPM, FrozenRow
+from .entities import (
+    EntryKind,
+    ResolutionEntry,
+    Router,
+    Subnet,
+    World,
+)
+from .profiles import VendorProfile, vendor_by_name
+
+__all__ = [
+    "ArtifactError",
+    "WorldArtifactWriter",
+    "WorldRef",
+    "build_fingerprint",
+    "load_world_artifact",
+    "resolve_world_ref",
+    "save_world",
+]
+
+_MAGIC = b"SRAWRLD1"
+_VERSION = 1
+_HEADER = struct.Struct("<8sHHq32s")
+_SECTION = struct.Struct("<16sQQ")
+_LO = (1 << 64) - 1
+
+# The artifact stores raw u64 columns read back through memoryview casts,
+# which use native byte order; the packed structs are explicitly
+# little-endian.  Both agree only on little-endian hosts (every platform
+# this project targets); refuse early elsewhere rather than mis-read.
+if sys.byteorder != "little":  # pragma: no cover - LE-only project
+    raise ImportError("world artifacts require a little-endian platform")
+
+_SECTION_NAMES = (
+    "meta",
+    "small",
+    "routers",
+    "router_var",
+    "router_index",
+    "subnets",
+    "subnet_hosts",
+    "subnet_index",
+    "resolution",
+)
+
+# Router fixed record: id, asn, country idx, vendor idx, flags,
+# loopback (hi, lo), peering LAN address (hi, lo), replication factor,
+# background error load, interface var (word offset, count), subnet
+# interface var (word offset, count).
+_ROUTER = struct.Struct("<qqHHHQQQQddQIQI")
+_RF_REPLIES_FROM_PEERING = 1 << 0
+_RF_ANSWERS_DIRECT_PING = 1 << 1
+_RF_UNSTABLE_REPLY_SOURCE = 1 << 2
+_RF_IS_BORDER = 1 << 3
+_RF_ERRORS_FROM_PRIMARY = 1 << 4
+_RF_SRA_FROM_PRIMARY = 1 << 5
+_RF_EMITS_UNREACHABLES = 1 << 6
+_RF_HAS_PEERING = 1 << 7
+
+# Subnet fixed record: network (hi, lo), asn, router id, router interface
+# (hi, lo), flags, death epoch, host (count, word offset).
+_SUBNET = struct.Struct("<QQqqQQBqIQ")
+_SF_ALIASED = 1 << 0
+_SF_FLAKY = 1 << 1
+_SF_HAS_DEATH = 1 << 2
+
+# Resolution per-length block header: length u32, pad u32, entry count u64
+# — followed by hi words, lo words, refs (i64), kind bytes (padded to 8).
+_RES_BLOCK = struct.Struct("<IIQ")
+_KIND_CODES = {
+    EntryKind.SUBNET: 0,
+    EntryKind.ALIAS: 1,
+    EntryKind.LOOP: 2,
+    EntryKind.INFRA: 3,
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class ArtifactError(RuntimeError):
+    """A world artifact is missing, malformed, or mismatched."""
+
+
+def build_fingerprint(config) -> bytes:
+    """Digest binding an artifact to the exact generator configuration.
+
+    ``repr`` of the (slots) config dataclass covers every knob including
+    the prior tables; two configs with equal reprs generate identical
+    worlds, which is precisely the guarantee a resuming loader needs.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).digest()
+
+
+def _pad8(n: int) -> int:
+    return (8 - n % 8) % 8
+
+
+# --------------------------------------------------------------------- #
+# writer
+# --------------------------------------------------------------------- #
+
+
+class WorldArtifactWriter:
+    """Incremental packer for one world artifact.
+
+    ``add_router`` / ``add_subnet`` append to spill files immediately —
+    callers drop the objects afterwards, which is what keeps generation
+    RSS flat.  ``add_resolution`` accumulates compact per-length key
+    columns (sorted and de-duplicated keep-last at finalize, replicating
+    dict-insert override semantics).  ``finalize`` assembles the final
+    file atomically (temp + rename).
+    """
+
+    def __init__(self, path: str | Path, *, seed: int, fingerprint: bytes) -> None:
+        if len(fingerprint) != 32:
+            raise ValueError("fingerprint must be a 32-byte digest")
+        self.path = Path(path)
+        self.seed = seed
+        self.fingerprint = fingerprint
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        stamp = f".tmp-{os.getpid()}"
+        self._spill_paths = {
+            name: self.path.with_name(self.path.name + f"{stamp}-{name}")
+            for name in ("routers", "router_var", "subnets", "subnet_hosts")
+        }
+        self._spill = {
+            name: io.BufferedWriter(open(p, "wb", buffering=0))
+            for name, p in self._spill_paths.items()
+        }
+        self._final_tmp = self.path.with_name(self.path.name + f"{stamp}-final")
+        self._router_rows = 0
+        self._router_index = array("q")
+        self._var_words = 0
+        self._subnet_rows = 0
+        self._host_words = 0
+        self._subnet_hi = array("Q")
+        self._subnet_lo = array("Q")
+        # length -> (hi, lo, kinds, refs) appended in registration order
+        self._res: dict[int, tuple[array, array, bytearray, array]] = {}
+        self._strings: dict[str, dict[str, int]] = {
+            "countries": {},
+            "vendors": {},
+        }
+        self._finalized = False
+
+    # ---------------- interning ---------------- #
+
+    def _intern(self, table: str, name: str) -> int:
+        strings = self._strings[table]
+        idx = strings.get(name)
+        if idx is None:
+            idx = len(strings)
+            if idx > 0xFFFF:
+                raise ArtifactError(f"too many distinct {table}")
+            strings[name] = idx
+        return idx
+
+    # ---------------- entity packing ---------------- #
+
+    def add_router(self, router: Router) -> int:
+        """Pack one finished router; returns its row ordinal."""
+        var = array("Q")
+        iface_off = self._var_words
+        for address in router.interface_addresses:
+            var.append(address >> 64)
+            var.append(address & _LO)
+        subif_off = iface_off + len(var)
+        for network, iface in router.subnet_interfaces.items():
+            var.append(network >> 64)
+            var.append(network & _LO)
+            var.append(iface >> 64)
+            var.append(iface & _LO)
+        flags = 0
+        if router.replies_from_peering:
+            flags |= _RF_REPLIES_FROM_PEERING
+        if router.answers_direct_ping:
+            flags |= _RF_ANSWERS_DIRECT_PING
+        if router.unstable_reply_source:
+            flags |= _RF_UNSTABLE_REPLY_SOURCE
+        if router.is_border:
+            flags |= _RF_IS_BORDER
+        if router.errors_from_primary:
+            flags |= _RF_ERRORS_FROM_PRIMARY
+        if router.sra_from_primary:
+            flags |= _RF_SRA_FROM_PRIMARY
+        if router.emits_unreachables:
+            flags |= _RF_EMITS_UNREACHABLES
+        peering = router.peering_lan_address
+        if peering is not None:
+            flags |= _RF_HAS_PEERING
+        else:
+            peering = 0
+        record = _ROUTER.pack(
+            router.router_id,
+            router.asn,
+            self._intern("countries", router.country),
+            self._intern("vendors", router.vendor.name),
+            flags,
+            router.loopback >> 64,
+            router.loopback & _LO,
+            peering >> 64,
+            peering & _LO,
+            router.replication_factor,
+            router.background_error_load,
+            iface_off,
+            len(router.interface_addresses),
+            subif_off,
+            len(router.subnet_interfaces),
+        )
+        self._spill["routers"].write(record)
+        self._spill["router_var"].write(var.tobytes())
+        self._var_words += len(var)
+        index = self._router_index
+        slot = router.router_id - 1
+        if slot < 0:
+            raise ArtifactError(f"router id {router.router_id} out of range")
+        while len(index) <= slot:
+            index.append(-1)
+        index[slot] = self._router_rows
+        row = self._router_rows
+        self._router_rows += 1
+        return row
+
+    def add_subnet(self, subnet: Subnet) -> int:
+        """Pack one subnet (row order == registration/iteration order)."""
+        hosts = array("Q")
+        host_off = self._host_words
+        for host in subnet.hosts:
+            hosts.append(host >> 64)
+            hosts.append(host & _LO)
+        flags = 0
+        if subnet.aliased:
+            flags |= _SF_ALIASED
+        if subnet.flaky:
+            flags |= _SF_FLAKY
+        death = subnet.death_epoch
+        if death is not None:
+            flags |= _SF_HAS_DEATH
+        else:
+            death = 0
+        network = subnet.prefix.network
+        record = _SUBNET.pack(
+            network >> 64,
+            network & _LO,
+            subnet.asn,
+            subnet.router_id,
+            subnet.router_interface >> 64,
+            subnet.router_interface & _LO,
+            flags,
+            death,
+            len(subnet.hosts),
+            host_off,
+        )
+        self._spill["subnets"].write(record)
+        self._spill["subnet_hosts"].write(hosts.tobytes())
+        self._host_words += len(hosts)
+        self._subnet_hi.append(network >> 64)
+        self._subnet_lo.append(network & _LO)
+        row = self._subnet_rows
+        self._subnet_rows += 1
+        return row
+
+    def add_resolution(self, prefix: IPv6Prefix, kind: EntryKind, ref: int) -> None:
+        """Record one resolution entry, in registration order.
+
+        ``ref`` points into the payload's home collection: subnet row for
+        SUBNET, list index for LOOP/ALIAS, ignored (-1) for INFRA, whose
+        payload is keyed by the prefix network itself.
+        """
+        block = self._res.get(prefix.length)
+        if block is None:
+            block = (array("Q"), array("Q"), bytearray(), array("q"))
+            self._res[prefix.length] = block
+        hi, lo, kinds, refs = block
+        hi.append(prefix.network >> 64)
+        lo.append(prefix.network & _LO)
+        kinds.append(_KIND_CODES[kind])
+        refs.append(ref)
+
+    # ---------------- finalize ---------------- #
+
+    def _resolution_bytes(self) -> bytes:
+        out = bytearray()
+        out += struct.pack("<I", len(self._res))
+        out += b"\0" * 4  # keep following blocks 8-aligned
+        for length in sorted(self._res, reverse=True):
+            hi, lo, kinds, refs = self._res[length]
+            order = sorted(
+                range(len(hi)), key=lambda i: (hi[i], lo[i], i)
+            )
+            # Keep-last dedupe: a later registration of the same network
+            # overwrites an earlier one, exactly like dict insert in the
+            # mutable resolution index.
+            kept: list[int] = []
+            for i in order:
+                if kept and hi[kept[-1]] == hi[i] and lo[kept[-1]] == lo[i]:
+                    kept[-1] = i
+                else:
+                    kept.append(i)
+            out += _RES_BLOCK.pack(length, 0, len(kept))
+            out += array("Q", (hi[i] for i in kept)).tobytes()
+            out += array("Q", (lo[i] for i in kept)).tobytes()
+            out += array("q", (refs[i] for i in kept)).tobytes()
+            kind_bytes = bytes(kinds[i] for i in kept)
+            out += kind_bytes
+            out += b"\0" * _pad8(len(kind_bytes))
+        return bytes(out)
+
+    def _subnet_index_bytes(self) -> bytes:
+        hi, lo = self._subnet_hi, self._subnet_lo
+        order = sorted(range(len(hi)), key=lambda i: (hi[i], lo[i], i))
+        kept: list[int] = []
+        for i in order:
+            if kept and hi[kept[-1]] == hi[i] and lo[kept[-1]] == lo[i]:
+                kept[-1] = i  # keep-last: later registration wins
+            else:
+                kept.append(i)
+        out = bytearray()
+        out += struct.pack("<Q", len(kept))
+        out += array("Q", (hi[i] for i in kept)).tobytes()
+        out += array("Q", (lo[i] for i in kept)).tobytes()
+        out += array("q", kept).tobytes()
+        return bytes(out)
+
+    def finalize(self, world: World) -> Path:
+        """Write the final artifact from the spilled sections plus the
+        world's remaining (small) parts; atomic temp + rename."""
+        if self._finalized:
+            raise ArtifactError("writer already finalized")
+        self._finalized = True
+        for handle in self._spill.values():
+            handle.flush()
+            handle.close()
+        countries = [None] * len(self._strings["countries"])
+        for name, idx in self._strings["countries"].items():
+            countries[idx] = name
+        vendors = [None] * len(self._strings["vendors"])
+        for name, idx in self._strings["vendors"].items():
+            vendors[idx] = name
+        meta = {
+            "seed": self.seed,
+            "packet_loss": world.packet_loss,
+            "router_rows": self._router_rows,
+            "router_id_span": len(self._router_index),
+            "subnet_rows": self._subnet_rows,
+            "countries": countries,
+            "vendors": vendors,
+        }
+        small = {
+            "ases": world.ases,
+            "paths": world.paths,
+            "infra_subnets": world.infra_subnets,
+            "loop_regions": world.loop_regions,
+            "alias_regions": world.alias_regions,
+            "bgp": world.bgp,
+            "irr": world.irr,
+            "vantage": world.vantage,
+        }
+        payloads: dict[str, bytes | Path] = {
+            "meta": json.dumps(meta, separators=(",", ":")).encode("utf-8"),
+            "small": pickle.dumps(small, protocol=pickle.HIGHEST_PROTOCOL),
+            "routers": self._spill_paths["routers"],
+            "router_var": self._spill_paths["router_var"],
+            "router_index": self._router_index.tobytes(),
+            "subnets": self._spill_paths["subnets"],
+            "subnet_hosts": self._spill_paths["subnet_hosts"],
+            "subnet_index": self._subnet_index_bytes(),
+            "resolution": self._resolution_bytes(),
+        }
+        table: list[tuple[str, int, int]] = []
+        header_size = _HEADER.size + len(_SECTION_NAMES) * _SECTION.size
+        try:
+            with open(self._final_tmp, "wb") as out:
+                out.write(b"\0" * (header_size + _pad8(header_size)))
+                for name in _SECTION_NAMES:
+                    payload = payloads[name]
+                    offset = out.tell()
+                    if isinstance(payload, Path):
+                        with open(payload, "rb") as spill:
+                            shutil.copyfileobj(spill, out, 1 << 20)
+                    else:
+                        out.write(payload)
+                    length = out.tell() - offset
+                    table.append((name, offset, length))
+                    out.write(b"\0" * _pad8(length))
+                out.seek(0)
+                out.write(
+                    _HEADER.pack(
+                        _MAGIC,
+                        _VERSION,
+                        len(table),
+                        self.seed,
+                        self.fingerprint,
+                    )
+                )
+                for name, offset, length in table:
+                    out.write(
+                        _SECTION.pack(name.encode("ascii"), offset, length)
+                    )
+                out.flush()
+                os.fsync(out.fileno())
+            os.replace(self._final_tmp, self.path)
+        finally:
+            self._cleanup()
+        return self.path
+
+    def abort(self) -> None:
+        """Close and remove every temp file (generation failed)."""
+        if not self._finalized:
+            self._finalized = True
+            for handle in self._spill.values():
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        for spill in self._spill_paths.values():
+            try:
+                os.unlink(spill)
+            except OSError:
+                pass
+        try:
+            os.unlink(self._final_tmp)
+        except OSError:
+            pass
+
+
+def save_world(
+    world: World, path: str | Path, *, fingerprint: bytes | None = None
+) -> Path:
+    """Pack a fully-built in-memory world into an artifact file.
+
+    The streamed generator path (``build_world_artifact``) never holds
+    the whole world; this eager variant serves round-trip tests and
+    converting existing worlds.  Iteration orders of ``routers`` and
+    ``subnets`` are preserved exactly.
+    """
+    if fingerprint is None:
+        fingerprint = hashlib.sha256(
+            f"world-seed-{world.seed}".encode("ascii")
+        ).digest()
+    writer = WorldArtifactWriter(path, seed=world.seed, fingerprint=fingerprint)
+    try:
+        subnet_rows: dict[int, int] = {}
+        for subnet in world.subnets.values():
+            subnet_rows[subnet.prefix.network] = writer.add_subnet(subnet)
+        for router in world.routers.values():
+            writer.add_router(router)
+        loop_rows = {id(r): i for i, r in enumerate(world.loop_regions)}
+        alias_rows = {id(r): i for i, r in enumerate(world.alias_regions)}
+        for prefix, entry in world.resolution.items():
+            if entry.kind is EntryKind.SUBNET:
+                ref = subnet_rows[prefix.network]
+            elif entry.kind is EntryKind.LOOP:
+                ref = loop_rows[id(entry.payload)]
+            elif entry.kind is EntryKind.ALIAS:
+                ref = alias_rows[id(entry.payload)]
+            else:
+                ref = -1
+            writer.add_resolution(prefix, entry.kind, ref)
+        return writer.finalize(world)
+    except BaseException:
+        writer.abort()
+        raise
+
+
+# --------------------------------------------------------------------- #
+# reader
+# --------------------------------------------------------------------- #
+
+
+class _ArtifactReader:
+    """Shared decode state: the mmap, section views, and entity caches.
+
+    Entity caches are keyed by row and grow only with *touched* entities
+    — the property that lets a million-router world scan in a bounded
+    heap.  The same cache backs the lazy maps and the resolution values,
+    so payload identity is stable everywhere (the engine keys per-batch
+    plans by ``id(subnet)``).
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        try:
+            with open(path, "rb") as handle:
+                self._mmap = mmap.mmap(
+                    handle.fileno(), 0, access=mmap.ACCESS_READ
+                )
+        except (OSError, ValueError) as exc:
+            raise ArtifactError(f"cannot map world artifact {path}: {exc}") from exc
+        view = memoryview(self._mmap)
+        if len(view) < _HEADER.size:
+            raise ArtifactError(f"{path}: truncated artifact header")
+        magic, version, count, seed, fingerprint = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise ArtifactError(f"{path}: not a world artifact")
+        if version != _VERSION:
+            raise ArtifactError(
+                f"{path}: artifact version {version}, expected {_VERSION}"
+            )
+        self.seed = seed
+        self.fingerprint = fingerprint
+        self._view = view
+        sections: dict[str, tuple[int, int]] = {}
+        base = _HEADER.size
+        for i in range(count):
+            raw, offset, length = _SECTION.unpack_from(
+                view, base + i * _SECTION.size
+            )
+            sections[raw.rstrip(b"\0").decode("ascii")] = (offset, length)
+        missing = set(_SECTION_NAMES) - set(sections)
+        if missing:
+            raise ArtifactError(f"{path}: missing sections {sorted(missing)}")
+        self._sections = sections
+        self.meta = json.loads(bytes(self._section("meta")))
+        self.small = pickle.loads(self._section("small"))
+        self.countries: list[str] = self.meta["countries"]
+        self.vendors: list[VendorProfile] = [
+            vendor_by_name(name) for name in self.meta["vendors"]
+        ]
+        self._routers_off = sections["routers"][0]
+        self._subnets_off = sections["subnets"][0]
+        self.router_rows: int = self.meta["router_rows"]
+        self.subnet_rows: int = self.meta["subnet_rows"]
+        self._router_var = self._words("router_var", "Q")
+        self._router_index = self._words("router_index", "q")
+        self._hosts = self._words("subnet_hosts", "Q")
+        index = self._section("subnet_index")
+        (index_count,) = struct.unpack_from("<Q", index, 0)
+        word = 8
+        hi_off = word
+        lo_off = hi_off + index_count * word
+        row_off = lo_off + index_count * word
+        self._subnet_key_hi = index[hi_off:lo_off].cast("Q")
+        self._subnet_key_lo = index[lo_off:row_off].cast("Q")
+        self._subnet_key_row = index[row_off : row_off + index_count * word].cast("q")
+        self._router_cache: dict[int, Router] = {}
+        self._subnet_cache: dict[int, Subnet] = {}
+
+    def _section(self, name: str) -> memoryview:
+        offset, length = self._sections[name]
+        return self._view[offset : offset + length]
+
+    def _words(self, name: str, typecode: str) -> memoryview:
+        return self._section(name).cast(typecode)
+
+    # ---------------- routers ---------------- #
+
+    def router(self, router_id: int) -> Router:
+        cached = self._router_cache.get(router_id)
+        if cached is not None:
+            return cached
+        slot = router_id - 1
+        if not 0 <= slot < len(self._router_index):
+            raise KeyError(router_id)
+        row = self._router_index[slot]
+        if row < 0:
+            raise KeyError(router_id)
+        return self._router_at(row)
+
+    def router_id_at(self, row: int) -> int:
+        return _ROUTER.unpack_from(self._view, self._routers_off + row * _ROUTER.size)[0]
+
+    def _router_at(self, row: int) -> Router:
+        (
+            router_id,
+            asn,
+            country_idx,
+            vendor_idx,
+            flags,
+            loop_hi,
+            loop_lo,
+            peer_hi,
+            peer_lo,
+            replication,
+            background,
+            iface_off,
+            iface_count,
+            subif_off,
+            subif_count,
+        ) = _ROUTER.unpack_from(self._view, self._routers_off + row * _ROUTER.size)
+        var = self._router_var
+        interfaces = [
+            (var[iface_off + 2 * k] << 64) | var[iface_off + 2 * k + 1]
+            for k in range(iface_count)
+        ]
+        subnet_interfaces: dict[int, int] = {}
+        base = subif_off
+        for _ in range(subif_count):
+            network = (var[base] << 64) | var[base + 1]
+            subnet_interfaces[network] = (var[base + 2] << 64) | var[base + 3]
+            base += 4
+        router = Router(
+            router_id=router_id,
+            asn=asn,
+            country=self.countries[country_idx],
+            vendor=self.vendors[vendor_idx],
+            loopback=(loop_hi << 64) | loop_lo,
+            interface_addresses=interfaces,
+            subnet_interfaces=subnet_interfaces,
+            peering_lan_address=(
+                (peer_hi << 64) | peer_lo if flags & _RF_HAS_PEERING else None
+            ),
+            replies_from_peering=bool(flags & _RF_REPLIES_FROM_PEERING),
+            answers_direct_ping=bool(flags & _RF_ANSWERS_DIRECT_PING),
+            unstable_reply_source=bool(flags & _RF_UNSTABLE_REPLY_SOURCE),
+            is_border=bool(flags & _RF_IS_BORDER),
+            errors_from_primary=bool(flags & _RF_ERRORS_FROM_PRIMARY),
+            sra_from_primary=bool(flags & _RF_SRA_FROM_PRIMARY),
+            emits_unreachables=bool(flags & _RF_EMITS_UNREACHABLES),
+            replication_factor=replication,
+            background_error_load=background,
+        )
+        self._router_cache[router.router_id] = router
+        return router
+
+    # ---------------- subnets ---------------- #
+
+    def subnet_row_of(self, network: int) -> int:
+        """Row for a /64 network via the sorted index, or -1."""
+        hi = network >> 64
+        lo = network & _LO
+        keys_hi = self._subnet_key_hi
+        i = bisect_left(keys_hi, hi)
+        n = len(keys_hi)
+        if i >= n or keys_hi[i] != hi:
+            return -1
+        keys_lo = self._subnet_key_lo
+        if keys_lo[i] == lo:
+            return self._subnet_key_row[i]
+        j = bisect_right(keys_hi, hi, i)
+        k = bisect_left(keys_lo, lo, i, j)
+        if k < j and keys_lo[k] == lo:
+            return self._subnet_key_row[k]
+        return -1
+
+    def subnet(self, row: int) -> Subnet:
+        cached = self._subnet_cache.get(row)
+        if cached is not None:
+            return cached
+        (
+            net_hi,
+            net_lo,
+            asn,
+            router_id,
+            iface_hi,
+            iface_lo,
+            flags,
+            death,
+            host_count,
+            host_off,
+        ) = _SUBNET.unpack_from(self._view, self._subnets_off + row * _SUBNET.size)
+        words = self._hosts
+        hosts = tuple(
+            (words[host_off + 2 * k] << 64) | words[host_off + 2 * k + 1]
+            for k in range(host_count)
+        )
+        subnet = Subnet(
+            prefix=IPv6Prefix((net_hi << 64) | net_lo, 64),
+            asn=asn,
+            router_id=router_id,
+            router_interface=(iface_hi << 64) | iface_lo,
+            hosts=hosts,
+            aliased=bool(flags & _SF_ALIASED),
+            flaky=bool(flags & _SF_FLAKY),
+            death_epoch=death if flags & _SF_HAS_DEATH else None,
+        )
+        self._subnet_cache[row] = subnet
+        return subnet
+
+    def subnet_network_at(self, row: int) -> int:
+        net_hi, net_lo = struct.unpack_from(
+            "<QQ", self._view, self._subnets_off + row * _SUBNET.size
+        )
+        return (net_hi << 64) | net_lo
+
+    # ---------------- resolution ---------------- #
+
+    def resolution_rows(self, world: World) -> list[FrozenRow]:
+        section = self._section("resolution")
+        (num_lengths,) = struct.unpack_from("<I", section, 0)
+        offset = 8
+        rows: list[FrozenRow] = []
+        for _ in range(num_lengths):
+            length, _pad, count = _RES_BLOCK.unpack_from(section, offset)
+            offset += _RES_BLOCK.size
+            hi = section[offset : offset + count * 8].cast("Q")
+            offset += count * 8
+            lo = section[offset : offset + count * 8].cast("Q")
+            offset += count * 8
+            refs = section[offset : offset + count * 8].cast("q")
+            offset += count * 8
+            kinds = section[offset : offset + count]
+            offset += count + _pad8(count)
+            rows.append(
+                FrozenRow(
+                    length, hi, lo, _LazyEntries(self, world, hi, lo, kinds, refs)
+                )
+            )
+        return rows
+
+
+class _LazyEntries:
+    """Value column of one frozen-resolution row: entries materialise on
+    first access and stay cached (stable identity)."""
+
+    __slots__ = ("_reader", "_world", "_hi", "_lo", "_kinds", "_refs", "_cache")
+
+    def __init__(self, reader, world, hi, lo, kinds, refs) -> None:
+        self._reader = reader
+        self._world = world
+        self._hi = hi
+        self._lo = lo
+        self._kinds = kinds
+        self._refs = refs
+        self._cache: dict[int, ResolutionEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def __getitem__(self, i: int) -> ResolutionEntry:
+        entry = self._cache.get(i)
+        if entry is None:
+            kind = _CODE_KINDS[self._kinds[i]]
+            ref = self._refs[i]
+            if kind is EntryKind.SUBNET:
+                payload = self._reader.subnet(ref)
+            elif kind is EntryKind.LOOP:
+                payload = self._world.loop_regions[ref]
+            elif kind is EntryKind.ALIAS:
+                payload = self._world.alias_regions[ref]
+            else:  # INFRA: keyed by its own network
+                network = (self._hi[i] << 64) | self._lo[i]
+                payload = self._world.infra_subnets[network]
+            entry = ResolutionEntry(kind, payload)
+            self._cache[i] = entry
+        return entry
+
+
+class LazyRouterMap(Mapping):
+    """Read-only ``{router_id: Router}`` over the artifact.
+
+    Lookup materialises (and caches) one router; iteration follows the
+    original insertion order so loaded worlds behave byte-identically to
+    built ones wherever order is observable.
+    """
+
+    __slots__ = ("_reader",)
+
+    def __init__(self, reader: _ArtifactReader) -> None:
+        self._reader = reader
+
+    def __getitem__(self, router_id: int) -> Router:
+        return self._reader.router(router_id)
+
+    def __setitem__(self, router_id: int, router: Router) -> None:
+        raise TypeError("artifact-backed worlds are read-only")
+
+    def __delitem__(self, router_id: int) -> None:
+        raise TypeError("artifact-backed worlds are read-only")
+
+    def __len__(self) -> int:
+        return self._reader.router_rows
+
+    def __iter__(self) -> Iterator[int]:
+        # Streamed artifacts flush periphery routers before pinned core
+        # routers, so row order differs from the builder's creation
+        # (== id) order; ids are dense there, making id order exact.
+        # Eagerly-saved artifacts preserve insertion order as row order
+        # and may be sparse.  Dense id spans take the id path.
+        reader = self._reader
+        if reader.router_rows == reader.meta["router_id_span"]:
+            return iter(range(1, reader.router_rows + 1))
+        return (
+            reader.router_id_at(row) for row in range(reader.router_rows)
+        )
+
+
+class LazySubnetMap(Mapping):
+    """Read-only ``{network: Subnet}`` over the artifact (row order ==
+    registration order, duplicate registrations collapse keep-last)."""
+
+    __slots__ = ("_reader",)
+
+    def __init__(self, reader: _ArtifactReader) -> None:
+        self._reader = reader
+
+    def __getitem__(self, network: int) -> Subnet:
+        row = self._reader.subnet_row_of(network)
+        if row < 0:
+            raise KeyError(network)
+        return self._reader.subnet(row)
+
+    def __setitem__(self, network: int, subnet: Subnet) -> None:
+        raise TypeError("artifact-backed worlds are read-only")
+
+    def __delitem__(self, network: int) -> None:
+        raise TypeError("artifact-backed worlds are read-only")
+
+    def __len__(self) -> int:
+        return len(self._reader._subnet_key_row)
+
+    def __iter__(self) -> Iterator[int]:
+        reader = self._reader
+        if len(reader._subnet_key_row) == reader.subnet_rows:
+            # No duplicate registrations (the usual case): plain row walk.
+            return (
+                reader.subnet_network_at(row)
+                for row in range(reader.subnet_rows)
+            )
+        return self._iter_deduped()
+
+    def _iter_deduped(self) -> Iterator[int]:
+        # Dict semantics under overwrite: first insertion position, so
+        # yield each network at its first-seen row only.
+        reader = self._reader
+        seen: set[int] = set()
+        for row in range(reader.subnet_rows):
+            network = reader.subnet_network_at(row)
+            if network not in seen:
+                seen.add(network)
+                yield network
+
+
+# --------------------------------------------------------------------- #
+# loading and worker bootstrap
+# --------------------------------------------------------------------- #
+
+
+def load_world_artifact(path: str | Path) -> World:
+    """Memory-map an artifact and return its (lazy, read-only) world."""
+    path = Path(path)
+    reader = _ArtifactReader(path)
+    small = reader.small
+    bgp = small["bgp"]
+    bgp.freeze_lookups()
+    world = World(
+        seed=reader.seed,
+        bgp=bgp,
+        irr=small["irr"],
+        ases=small["ases"],
+        routers=LazyRouterMap(reader),  # type: ignore[arg-type]
+        subnets=LazySubnetMap(reader),  # type: ignore[arg-type]
+        loop_regions=small["loop_regions"],
+        alias_regions=small["alias_regions"],
+        infra_subnets=small["infra_subnets"],
+        paths=small["paths"],
+        vantage=small["vantage"],
+        packet_loss=reader.meta["packet_loss"],
+        artifact_path=str(path),
+        artifact_fingerprint=reader.fingerprint,
+    )
+    world.resolution = FrozenLPM(reader.resolution_rows(world))  # type: ignore[assignment]
+    return world
+
+
+@dataclass(frozen=True, slots=True)
+class WorldRef:
+    """O(KB) world bootstrap for shard workers: path + fingerprint.
+
+    The sharded runner ships this instead of the pickled world; workers
+    resolve it through :func:`resolve_world_ref`, which mmaps the
+    artifact once per process — the OS page cache shares the physical
+    pages across every worker on the host.
+    """
+
+    path: str
+    fingerprint: bytes | None = None
+
+
+_RESOLVED: dict[str, World] = {}
+
+
+def resolve_world_ref(ref: WorldRef) -> World:
+    """Per-process memoised artifact load, with fingerprint verification."""
+    world = _RESOLVED.get(ref.path)
+    if world is None:
+        world = load_world_artifact(ref.path)
+        _RESOLVED[ref.path] = world
+    if (
+        ref.fingerprint is not None
+        and world.artifact_fingerprint != ref.fingerprint
+    ):
+        raise ArtifactError(
+            f"{ref.path}: artifact fingerprint changed since the scan "
+            "was scheduled (world rebuilt with a different config?)"
+        )
+    return world
+
+
+def world_payload(world: World) -> "World | WorldRef":
+    """What the sharded runner should ship to process-pool workers:
+    a :class:`WorldRef` for artifact-backed worlds (O(KB)), the world
+    itself (pickled by the pool) otherwise."""
+    if world.artifact_path is not None:
+        return WorldRef(world.artifact_path, world.artifact_fingerprint)
+    return world

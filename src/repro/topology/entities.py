@@ -212,6 +212,15 @@ class World:
     paths: dict[int, tuple[TransitHop, ...]] = field(default_factory=dict)
     vantage: VantagePoint | None = None
     packet_loss: float = 0.01
+    # Artifact provenance: set on worlds loaded from (or streamed to) a
+    # binary world artifact.  A non-None path switches the sharded runner
+    # to O(KB) worker bootstrap — workers receive (path, fingerprint) and
+    # mmap the artifact instead of unpickling the whole world.  Such
+    # worlds are *static*: ``routers``/``subnets`` are lazy read-only
+    # maps and ``resolution`` is a FrozenLPM, so the register_*/remove
+    # mutators below raise on them.
+    artifact_path: str | None = None
+    artifact_fingerprint: bytes | None = None
 
     def register_subnet(self, subnet: Subnet) -> None:
         self.subnets[subnet.prefix.network] = subnet

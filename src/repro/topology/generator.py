@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import math
 import random
+from array import array
 from dataclasses import dataclass
+from pathlib import Path
 
 import networkx as nx
 
@@ -37,6 +39,7 @@ from .entities import (
     AliasRegion,
     ASInfo,
     ASType,
+    EntryKind,
     InfraSubnet,
     LoopRegion,
     Router,
@@ -65,9 +68,19 @@ class _ASSlot:
 
 
 class WorldBuilder:
-    """Single-use builder; call :meth:`build` once."""
+    """Single-use builder; call :meth:`build` once.
 
-    def __init__(self, config: WorldConfig) -> None:
+    With ``artifact_writer`` set, generation *streams*: finished periphery
+    routers and subnets spill straight into the artifact and are evicted
+    from the in-memory world, so peak RSS is bounded by the per-AS working
+    set plus the O(#ASes) core — not by world size.  The RNG draw sequence
+    is byte-for-byte the draw sequence of an eager build, so the loaded
+    artifact world is the eager world.
+    """
+
+    def __init__(
+        self, config: WorldConfig, *, artifact_writer=None
+    ) -> None:
         self.config = config
         self.rng = random.Random(config.seed)
         self.world = World(
@@ -83,6 +96,13 @@ class WorldBuilder:
         self._country_weights = [w for _, w, _ in config.countries]
         self._country_size = {c: s for c, _, s in config.countries}
         self._vendor_cache: dict[str, tuple[list[VendorProfile], list[float]]] = {}
+        self._writer = artifact_writer
+        # Routers created before streaming flush is enabled (core, border)
+        # stay pinned in memory: later steps mutate them (peering LANs,
+        # loop-edge firmware).  Everything created afterwards is flushed
+        # as soon as its owning step finishes with it.
+        self._flush_enabled = False
+        self._unflushed: list[Router] = []
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -95,11 +115,80 @@ class WorldBuilder:
         self._build_core_infrastructure()
         self._place_vantage()
         self._compute_paths()
+        if self._writer is not None:
+            self._enable_streaming()
         self._populate_subnets()
         self._inject_aliases()
         self._inject_loops()
         self._register_route6()
+        if self._writer is not None:
+            self._flush_routers()
+            for router in self.world.routers.values():
+                self._writer.add_router(router)  # the pinned core
+            self._writer.finalize(self.world)
         return self.world
+
+    # ------------------------------------------------------------------ #
+    # streaming (artifact) mode
+    # ------------------------------------------------------------------ #
+
+    def _enable_streaming(self) -> None:
+        """Switch to spill-as-you-go after the core is built.
+
+        Per-AS router-id lists become ``array('q')`` — at paper magnitude
+        they are the only O(#routers) state the small (pickled) part of
+        the artifact keeps, and boxed ints would cost ~5x the RAM.
+        """
+        for info in self.world.ases.values():
+            info.router_ids = array("q", info.router_ids)  # type: ignore[assignment]
+        self._flush_enabled = True
+
+    def _flush_routers(self) -> None:
+        """Spill finished periphery routers to the artifact and evict
+        them from the in-memory world (no-op in eager builds)."""
+        if not self._unflushed:
+            return
+        writer = self._writer
+        routers = self.world.routers
+        for router in self._unflushed:
+            writer.add_router(router)
+            del routers[router.router_id]
+        self._unflushed.clear()
+
+    def _register_subnet(self, subnet: Subnet) -> None:
+        if self._writer is None:
+            self.world.register_subnet(subnet)
+            return
+        row = self._writer.add_subnet(subnet)
+        self._writer.add_resolution(subnet.prefix, EntryKind.SUBNET, row)
+
+    def _register_infra(self, infra: InfraSubnet) -> None:
+        if self._writer is None:
+            self.world.register_infra(infra)
+            return
+        # Infra subnets stay in memory (O(#ASes), and later steps add
+        # interfaces); only the resolution entry goes to the artifact,
+        # keyed by its own network (ref unused).
+        self.world.infra_subnets[infra.prefix.network] = infra
+        self._writer.add_resolution(infra.prefix, EntryKind.INFRA, -1)
+
+    def _register_alias(self, region: AliasRegion) -> None:
+        if self._writer is None:
+            self.world.register_alias(region)
+            return
+        self.world.alias_regions.append(region)
+        self._writer.add_resolution(
+            region.prefix, EntryKind.ALIAS, len(self.world.alias_regions) - 1
+        )
+
+    def _register_loop(self, region: LoopRegion) -> None:
+        if self._writer is None:
+            self.world.register_loop(region)
+            return
+        self.world.loop_regions.append(region)
+        self._writer.add_resolution(
+            region.prefix, EntryKind.LOOP, len(self.world.loop_regions) - 1
+        )
 
     # ------------------------------------------------------------------ #
     # step 1: identities
@@ -269,7 +358,7 @@ class WorldBuilder:
                 infra.interfaces[router.loopback] = router.router_id
                 if core_index == 0:
                     info.border_router_id = router.router_id
-            self.world.register_infra(infra)
+            self._register_infra(infra)
         # Peering LANs carved from the provider's infrastructure /48.
         for asn, slot in self._slots.items():
             info = slot.info
@@ -280,7 +369,7 @@ class WorldBuilder:
                 lan = self.world.infra_subnets.get(lan_net)
                 if lan is None:
                     lan = InfraSubnet(prefix=IPv6Prefix(lan_net, 64), asn=provider_asn)
-                    self.world.register_infra(lan)
+                    self._register_infra(lan)
                 provider_border = self.world.routers[
                     provider_info.border_router_id  # type: ignore[index]
                 ]
@@ -334,6 +423,8 @@ class WorldBuilder:
         self._next_router_id += 1
         self.world.routers[router.router_id] = router
         info.router_ids.append(router.router_id)
+        if self._flush_enabled:
+            self._unflushed.append(router)
         return router
 
     def _draw_vendor(self, country: str) -> VendorProfile:
@@ -441,6 +532,7 @@ class WorldBuilder:
                 and self.rng.random() < config.single_router_as_fraction
             )
             self._attach_routers(info, sorted(networks), single_router_as)
+            self._flush_routers()
 
     def _subnet_count(self, slot: _ASSlot) -> int:
         config = self.config
@@ -590,7 +682,7 @@ class WorldBuilder:
         router.interface_addresses.append(iface)
         if router.loopback == 0:
             router.loopback = iface
-        self.world.register_subnet(subnet)
+        self._register_subnet(subnet)
 
     def _host_iid(self) -> int:
         if self.rng.random() < 0.4:
@@ -616,7 +708,7 @@ class WorldBuilder:
             index >>= max(0, home.length - 32)
             network = home.network | (index << (128 - 48))
             region = AliasRegion(prefix=IPv6Prefix(network, 48), asn=asn)
-            self.world.register_alias(region)
+            self._register_alias(region)
 
     # ------------------------------------------------------------------ #
     # step 8: routing loops and amplification
@@ -639,6 +731,7 @@ class WorldBuilder:
             chosen.add(slot.info.asn)
         for asn in chosen:
             self._inject_loops_for_as(self._slots[asn])
+            self._flush_routers()
 
     def _loop_router_weight(self, country: str) -> float:
         prior = self.config.loop_country_priors.get(country)
@@ -677,7 +770,7 @@ class WorldBuilder:
                 self._register_loopback_iface(info, edge_router)
             self._maybe_make_buggy(edge_router)
             for region in self._draw_loop_regions(slot, edge_router.router_id, provider_router_id):
-                self.world.register_loop(region)
+                self._register_loop(region)
 
     def _register_loopback_iface(self, info: ASInfo, router: Router) -> None:
         home = self._infra_home_prefix(info)
@@ -820,3 +913,34 @@ class WorldBuilder:
 def build_world(config: WorldConfig | None = None) -> World:
     """Build the default (or a custom-configured) simulated Internet."""
     return WorldBuilder(config or WorldConfig()).build()
+
+
+def build_world_artifact(
+    config: WorldConfig | None, path: str | Path
+) -> World:
+    """Generate a world streamed straight into a binary artifact at
+    ``path`` and return the mmap-loaded (lazy) world.
+
+    Peak generation RSS is bounded by the per-AS working set plus the
+    O(#ASes) core — periphery routers and subnets spill to disk as soon
+    as their owning step finishes with them — so paper-magnitude worlds
+    (hundreds of thousands of routers) build in a flat footprint.  The
+    returned world carries ``artifact_path``, which switches the sharded
+    runner to O(KB) worker bootstrap.
+    """
+    from .artifact import (
+        WorldArtifactWriter,
+        build_fingerprint,
+        load_world_artifact,
+    )
+
+    config = config or WorldConfig()
+    writer = WorldArtifactWriter(
+        path, seed=config.seed, fingerprint=build_fingerprint(config)
+    )
+    try:
+        WorldBuilder(config, artifact_writer=writer).build()
+    except BaseException:
+        writer.abort()
+        raise
+    return load_world_artifact(path)

@@ -1,0 +1,250 @@
+"""World artifacts: round-trip fidelity and scan byte-identity.
+
+Two representations of the same world exist after this PR — the eager
+object graph from ``build_world`` and the mmap-backed lazy world from
+``build_world_artifact``/``load_world_artifact``.  These tests pin that
+the two are observationally identical: every entity field round-trips,
+iteration orders match, and a sharded scan produces byte-identical
+records, telemetry, and Prometheus text regardless of representation or
+shard count.
+"""
+
+import pickle
+
+import pytest
+
+from repro.scanner.sharded import ShardedScanRunner
+from repro.scanner.targets import bgp_slash48_targets
+from repro.scanner.zmapv6 import ScanConfig
+from repro.telemetry.scan import ScanTelemetry
+from repro.topology.artifact import (
+    ArtifactError,
+    WorldRef,
+    load_world_artifact,
+    resolve_world_ref,
+    save_world,
+    world_payload,
+)
+from repro.topology.config import tiny_config
+from repro.topology.generator import build_world_artifact
+
+ROUTER_FIELDS = (
+    "router_id",
+    "asn",
+    "country",
+    "loopback",
+    "interface_addresses",
+    "subnet_interfaces",
+    "peering_lan_address",
+    "replies_from_peering",
+    "answers_direct_ping",
+    "unstable_reply_source",
+    "is_border",
+    "errors_from_primary",
+    "sra_from_primary",
+    "emits_unreachables",
+    "replication_factor",
+    "background_error_load",
+)
+
+SUBNET_FIELDS = (
+    "prefix",
+    "asn",
+    "router_id",
+    "router_interface",
+    "hosts",
+    "aliased",
+    "flaky",
+    "death_epoch",
+)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("artifact") / "tiny.sraw"
+
+
+@pytest.fixture(scope="module")
+def artifact_world(artifact_path):
+    """The tiny world, streamed to disk and loaded back lazily.
+
+    Same config as the session ``tiny_world`` fixture, so tests can
+    compare the two representations directly.
+    """
+    return build_world_artifact(tiny_config(seed=7), artifact_path)
+
+
+class TestRoundTrip:
+    def test_streamed_build_equals_eager_build(self, tiny_world, artifact_world):
+        assert list(artifact_world.routers) == list(tiny_world.routers)
+        assert list(artifact_world.subnets) == list(tiny_world.subnets)
+        for rid, router in tiny_world.routers.items():
+            loaded = artifact_world.routers[rid]
+            for field in ROUTER_FIELDS:
+                assert getattr(loaded, field) == getattr(router, field), (
+                    rid,
+                    field,
+                )
+            assert loaded.vendor is router.vendor  # interned by name
+        for network, subnet in tiny_world.subnets.items():
+            loaded = artifact_world.subnets[network]
+            for field in SUBNET_FIELDS:
+                assert getattr(loaded, field) == getattr(subnet, field)
+        assert list(tiny_world.bgp.prefixes()) == list(
+            artifact_world.bgp.prefixes()
+        )
+        assert tiny_world.paths == artifact_world.paths
+        for asn, info in tiny_world.ases.items():
+            loaded = artifact_world.ases[asn]
+            assert list(info.router_ids) == list(loaded.router_ids)
+            assert info.prefixes == loaded.prefixes
+        assert artifact_world.artifact_path is not None
+        assert artifact_world.artifact_fingerprint is not None
+
+    def test_resolution_matches(self, tiny_world, artifact_world):
+        import random
+
+        rng = random.Random(3)
+        probes = [rng.getrandbits(128) for _ in range(500)]
+        probes += [s.sra_address for s in tiny_world.subnets.values()]
+        probes += [r.prefix.network + 5 for r in tiny_world.loop_regions]
+        probes += [r.prefix.network + 5 for r in tiny_world.alias_regions]
+        for address in probes:
+            expected = tiny_world.resolution.longest_match(address)
+            got = artifact_world.resolution.longest_match(address)
+            assert (expected is None) == (got is None)
+            if expected is not None:
+                assert expected[0] == got[0]
+                assert expected[1].kind == got[1].kind
+
+    def test_resolution_payload_identity_is_stable(self, artifact_world):
+        """The engine keys per-batch plans by id(subnet): repeated lookups
+        must return the same materialised object."""
+        network = next(iter(artifact_world.subnets))
+        first = artifact_world.resolution.longest_match(network)
+        second = artifact_world.resolution.longest_match(network)
+        assert first is not None and first[1].payload is second[1].payload
+        assert first[1].payload is artifact_world.subnets[network]
+
+    def test_save_world_round_trips_eager_world(self, tiny_world, tmp_path):
+        path = save_world(tiny_world, tmp_path / "eager.sraw")
+        loaded = load_world_artifact(path)
+        assert list(loaded.routers) == list(tiny_world.routers)
+        assert list(loaded.subnets) == list(tiny_world.subnets)
+        rid = next(iter(tiny_world.routers))
+        for field in ROUTER_FIELDS:
+            assert getattr(loaded.routers[rid], field) == getattr(
+                tiny_world.routers[rid], field
+            )
+
+    def test_lazy_maps_behave_like_dicts(self, tiny_world, artifact_world):
+        routers = artifact_world.routers
+        assert len(routers) == len(tiny_world.routers)
+        missing_rid = max(tiny_world.routers) + 100
+        assert missing_rid not in routers
+        with pytest.raises(KeyError):
+            routers[missing_rid]
+        subnets = artifact_world.subnets
+        assert len(subnets) == len(tiny_world.subnets)
+        assert 0xDEAD not in subnets
+        with pytest.raises(KeyError):
+            subnets[0xDEAD]
+        assert subnets.get(0xDEAD) is None
+
+    def test_loaded_world_is_static(self, artifact_world):
+        from repro.addr.ipv6 import IPv6Prefix
+        from repro.topology.entities import Subnet
+
+        subnet = Subnet(
+            prefix=IPv6Prefix(0xABCD << 64, 64),
+            asn=1,
+            router_id=1,
+            router_interface=(0xABCD << 64) | 1,
+        )
+        with pytest.raises(TypeError):
+            artifact_world.register_subnet(subnet)
+        if artifact_world.loop_regions:
+            with pytest.raises(TypeError):
+                artifact_world.remove_loop(artifact_world.loop_regions[0])
+
+
+class TestWorkerBootstrap:
+    def test_world_payload_is_kilobytes(self, tiny_world, artifact_world):
+        """The whole point: artifact worlds ship a path, not a world."""
+        ref = world_payload(artifact_world)
+        assert isinstance(ref, WorldRef)
+        assert len(pickle.dumps(ref)) < 4096
+        # Non-artifact worlds keep the legacy pickled-world path.
+        assert world_payload(tiny_world) is tiny_world
+
+    def test_resolve_world_ref_memoises(self, artifact_world):
+        ref = world_payload(artifact_world)
+        first = resolve_world_ref(ref)
+        assert resolve_world_ref(ref) is first
+
+    def test_fingerprint_mismatch_is_refused(self, artifact_world):
+        ref = WorldRef(artifact_world.artifact_path, b"\0" * 32)
+        with pytest.raises(ArtifactError):
+            resolve_world_ref(ref)
+
+    def test_missing_artifact_is_a_clear_error(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_world_artifact(tmp_path / "nope.sraw")
+
+    def test_not_an_artifact_is_a_clear_error(self, tmp_path):
+        bogus = tmp_path / "bogus.sraw"
+        bogus.write_bytes(b"definitely not a world artifact header")
+        with pytest.raises(ArtifactError):
+            load_world_artifact(bogus)
+
+
+class TestScanByteIdentity:
+    """The acceptance pin: scanning through the frozen shared-memory FIB
+    is byte-identical to the in-memory trie path at shards 1, 4, and 8."""
+
+    @pytest.fixture(scope="class")
+    def targets(self, tiny_world):
+        import random
+
+        return list(
+            bgp_slash48_targets(
+                tiny_world.bgp,
+                max_per_prefix=8,
+                max_targets=1_500,
+                rng=random.Random(21),
+            )
+        )
+
+    @staticmethod
+    def _scan_bytes(world, targets, shards, executor):
+        telemetry = ScanTelemetry()
+        runner = ShardedScanRunner(world, shards=shards, executor=executor)
+        result = runner.scan(
+            list(targets),
+            ScanConfig(pps=150_000.0, seed=5),
+            name="ident",
+            epoch=2,
+            telemetry=telemetry,
+        )
+        records = [
+            (r.target, r.source, r.icmp_type, r.code, r.count, r.time)
+            for r in result.records
+        ]
+        counters = (result.sent, result.lost, result.loops_observed)
+        return (
+            records,
+            counters,
+            telemetry.to_jsonl(),
+            telemetry.to_prometheus(),
+        )
+
+    @pytest.mark.parametrize(
+        ("shards", "executor"),
+        [(1, "serial"), (4, "process"), (8, "process")],
+    )
+    def test_identical_output_bytes(
+        self, tiny_world, artifact_world, targets, shards, executor
+    ):
+        eager = self._scan_bytes(tiny_world, targets, shards, executor)
+        loaded = self._scan_bytes(artifact_world, targets, shards, executor)
+        assert eager == loaded

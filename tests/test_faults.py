@@ -331,6 +331,89 @@ class TestInterruptSalvage:
         assert "sra_scan_shards_salvaged_total" in metrics
 
 
+class TestArtifactWorldFaults:
+    def test_crash_resume_against_artifact_world(
+        self, tiny_world, fault_targets, tmp_path
+    ):
+        """Crash-resume over the zero-pickle worker path: shard workers
+        bootstrap from a WorldRef (artifact path + fingerprint), a planned
+        interrupt checkpoints the scan, and the resumed run completes
+        byte-identically to an uninterrupted eager-world scan."""
+        from repro.topology.config import tiny_config
+        from repro.topology.generator import build_world_artifact
+
+        world = build_world_artifact(
+            tiny_config(seed=7), tmp_path / "faulted.sraw"
+        )
+        clean, _ = run_scan(
+            tiny_world, fault_targets, shards=4, executor="process"
+        )
+        checkpoint = tmp_path / "artifact.ckpt"
+        runner = ShardedScanRunner(
+            world, shards=4, executor="process", retry_backoff=0.0
+        )
+        with pytest.raises(ScanInterrupted):
+            runner.scan(
+                fault_targets,
+                CONFIG,
+                name="faulted",
+                epoch=1,
+                telemetry=ScanTelemetry(),
+                checkpoint=checkpoint,
+                chaos=ChaosEngine(plan=FaultPlan(interrupt_after_shards=2)),
+            )
+        telemetry = ScanTelemetry()
+        resumed = ShardedScanRunner(world, shards=4, executor="process").scan(
+            fault_targets,
+            CONFIG,
+            name="faulted",
+            epoch=1,
+            telemetry=telemetry,
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        assert resumed.records == clean.records
+        assert resumed.engine_stats == clean.engine_stats
+        assert any(
+            event["event"] == "scan_resumed"
+            for event in telemetry.ops_events
+        )
+
+    def test_hard_crash_recovers_on_artifact_world(
+        self, fault_targets, tmp_path
+    ):
+        """A worker hard-crash breaks the pool; the recovery round's fresh
+        pool re-resolves the WorldRef and completes the scan."""
+        from repro.topology.config import tiny_config
+        from repro.topology.generator import build_world_artifact
+
+        world = build_world_artifact(
+            tiny_config(seed=7), tmp_path / "crashy.sraw"
+        )
+        clean, _ = run_scan(
+            world, fault_targets, shards=2, retries=2, executor="process"
+        )
+        chaos = ChaosEngine(
+            plan=FaultPlan(
+                crash_shard=1, crash_at_probe=10, crash_attempts=1, hard=True
+            )
+        )
+        faulted, telemetry = run_scan(
+            world,
+            fault_targets,
+            shards=2,
+            retries=2,
+            executor="process",
+            chaos=chaos,
+        )
+        assert faulted.records == clean.records
+        assert 1 in {
+            event["shard"]
+            for event in telemetry.ops_events
+            if event["event"] == "shard_retried"
+        }
+
+
 class TestSinkFaults:
     def test_sink_failure_surfaces_and_aborts_cleanly(
         self, tiny_world, fault_targets, tmp_path

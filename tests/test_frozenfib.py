@@ -1,0 +1,225 @@
+"""Property tests: FrozenLPM is lookup-equivalent to the mutable maps.
+
+The frozen FIB is what every shard worker of an artifact-backed world
+scans through, so its equivalence to ``LengthIndexedLPM`` / ``PrefixTrie``
+is a correctness pin, not an optimisation detail: any divergence would
+show up as scan output differing by world representation.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.addr.ipv6 import IPv6Prefix, network_of
+from repro.bgp.frozenfib import FrozenLPM, FrozenRow
+from repro.bgp.lpm import LengthIndexedLPM
+from repro.bgp.table import Announcement, BGPTable
+from repro.bgp.trie import PrefixTrie
+
+addresses = st.integers(min_value=0, max_value=(1 << 128) - 1)
+# Deliberately includes both extremes (/0 catch-all, /128 host routes)
+# and lengths straddling the 64-bit word split of the key columns.
+lengths = st.sampled_from([0, 1, 16, 32, 47, 48, 52, 63, 64, 65, 96, 127, 128])
+
+
+@st.composite
+def prefix_sets(draw):
+    """A random prefix map plus removals applied before freezing.
+
+    Networks cluster around a small pool of bases so that overlapping
+    prefixes (the interesting LPM case) actually occur; values include
+    ``None`` (which must still count as a match, per the sentinel-probe
+    semantics of the mutable maps).
+    """
+    pool = draw(st.lists(addresses, min_size=1, max_size=3))
+    count = draw(st.integers(min_value=0, max_value=25))
+    entries = []
+    for _ in range(count):
+        base = draw(st.sampled_from(pool))
+        length = draw(lengths)
+        jitter = draw(st.integers(min_value=0, max_value=(1 << 20) - 1))
+        network = network_of(base ^ jitter, length)
+        value = draw(st.one_of(st.none(), st.integers(), st.text(max_size=4)))
+        entries.append((IPv6Prefix(network, length), value))
+    remove_count = draw(st.integers(min_value=0, max_value=len(entries)))
+    removals = [p for p, _ in entries[:remove_count]]
+    return entries, removals
+
+
+def _build(entries, removals):
+    lpm: LengthIndexedLPM = LengthIndexedLPM()
+    trie: PrefixTrie = PrefixTrie()
+    for prefix, value in entries:
+        lpm.insert(prefix, value)
+        trie.insert(prefix, value)
+    for prefix in removals:
+        assert lpm.remove(prefix) == trie.remove(prefix)
+    return lpm, trie
+
+
+def _probes(entries, seed=0):
+    """Addresses that exercise boundaries: the networks themselves, their
+    last covered address, just-outside neighbours, plus random draws."""
+    rng = random.Random(seed)
+    probes = [rng.getrandbits(128) for _ in range(32)]
+    for prefix, _ in entries:
+        span = 1 << (128 - prefix.length)
+        probes.append(prefix.network)
+        probes.append(prefix.network + span - 1)
+        if prefix.network > 0:
+            probes.append(prefix.network - 1)
+        if prefix.network + span < (1 << 128):
+            probes.append(prefix.network + span)
+    return probes
+
+
+class TestFrozenEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(prefix_sets())
+    def test_longest_match_matches_both_maps(self, data):
+        entries, removals = data
+        lpm, trie = _build(entries, removals)
+        frozen = lpm.frozen()
+        frozen_trie = trie.frozen()
+        assert len(frozen) == len(lpm) == len(trie) == len(frozen_trie)
+        for address in _probes(entries):
+            expected = lpm.longest_match(address)
+            assert trie.longest_match(address) == expected
+            assert frozen.longest_match(address) == expected
+            assert frozen_trie.longest_match(address) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(prefix_sets())
+    def test_batch_equals_per_address(self, data):
+        entries, removals = data
+        lpm, _ = _build(entries, removals)
+        frozen = lpm.frozen()
+        probes = _probes(entries, seed=1)
+        indices = sorted(range(len(probes)), key=lambda i: probes[i])
+        out_frozen: list = [None] * len(probes)
+        frozen.longest_match_batch(probes, indices, out_frozen)
+        out_lpm: list = [None] * len(probes)
+        lpm.longest_match_batch(probes, indices, out_lpm)
+        assert out_frozen == out_lpm
+        # ... and both equal fresh per-address lookups.
+        reference = lpm.frozen()
+        assert out_frozen == [reference.longest_match(a) for a in probes]
+
+    @settings(max_examples=40, deadline=None)
+    @given(prefix_sets())
+    def test_items_cover_get_all_matches(self, data):
+        entries, removals = data
+        lpm, trie = _build(entries, removals)
+        frozen = lpm.frozen()
+        assert list(frozen.items()) == list(lpm.items())
+        assert dict(frozen.items()) == dict(trie.items())
+        for prefix, value in lpm.items():
+            assert frozen.get(prefix) == value
+        for address in _probes(entries, seed=2):
+            assert list(frozen.all_matches(address)) == list(
+                lpm.all_matches(address)
+            )
+            # The trie yields shortest-first; same content either way.
+            assert list(frozen.all_matches(address)) == list(
+                reversed(list(trie.all_matches(address)))
+            )
+        for prefix, _ in entries:
+            for strict in (False, True):
+                assert frozen.has_cover(prefix, strict=strict) == lpm.has_cover(
+                    prefix, strict=strict
+                )
+
+    @settings(max_examples=20, deadline=None)
+    @given(prefix_sets(), st.integers(min_value=1, max_value=8))
+    def test_tiny_cache_still_exact(self, data, cache_size):
+        """Heavy eviction pressure must never change results — the LRU
+        block cache is advisory."""
+        entries, removals = data
+        lpm, _ = _build(entries, removals)
+        frozen = lpm.frozen(cache_size=cache_size)
+        probes = _probes(entries, seed=3)
+        for _ in range(3):  # revisits hit, evict, refill
+            for address in probes:
+                assert frozen.longest_match(address) == lpm.longest_match(
+                    address
+                )
+
+
+class TestFrozenBehaviour:
+    def test_mutation_raises(self):
+        frozen = LengthIndexedLPM().frozen()
+        with pytest.raises(TypeError):
+            frozen.insert(IPv6Prefix(0, 0), 1)
+        with pytest.raises(TypeError):
+            frozen.remove(IPv6Prefix(0, 0))
+
+    def test_empty(self):
+        frozen = PrefixTrie().frozen()
+        assert len(frozen) == 0
+        assert frozen.longest_match(123) is None
+        assert list(frozen.items()) == []
+
+    def test_block_shift_matches_source(self):
+        lpm = LengthIndexedLPM()
+        lpm.insert(IPv6Prefix.of(1 << 100, 32), "a")
+        assert lpm.frozen().block_shift == lpm.block_shift  # /48 floor
+        lpm.insert(IPv6Prefix.of(1 << 100, 96), "b")
+        assert lpm.frozen().block_shift == lpm.block_shift
+
+    def test_none_values_match(self):
+        lpm = LengthIndexedLPM()
+        prefix = IPv6Prefix.of(0xDEAD << 100, 48)
+        lpm.insert(prefix, None)
+        frozen = lpm.frozen()
+        match = frozen.longest_match(prefix.network | 7)
+        assert match is not None and match == (prefix, None)
+
+    def test_memoryview_columns(self):
+        """Key columns can be memoryview casts over packed bytes — the
+        exact shape the mmap'd world artifact feeds in."""
+        from array import array
+
+        networks = sorted(
+            network_of(random.Random(5).getrandbits(128), 64)
+            for _ in range(50)
+        )
+        networks = sorted(set(networks))
+        hi = array("Q", (n >> 64 for n in networks))
+        lo = array("Q", (n & ((1 << 64) - 1) for n in networks))
+        row = FrozenRow(
+            64,
+            memoryview(hi.tobytes()).cast("Q"),
+            memoryview(lo.tobytes()).cast("Q"),
+            list(range(len(networks))),
+        )
+        frozen: FrozenLPM = FrozenLPM([row])
+        reference: LengthIndexedLPM = LengthIndexedLPM()
+        for i, network in enumerate(networks):
+            reference.insert(IPv6Prefix(network, 64), i)
+        for network in networks:
+            for address in (network, network + 1, network - 1):
+                assert frozen.longest_match(address) == reference.longest_match(
+                    address
+                )
+
+    def test_bgp_table_freeze_lookups(self):
+        table = BGPTable()
+        rng = random.Random(11)
+        prefixes = [
+            IPv6Prefix.of(rng.getrandbits(128), rng.choice((32, 40, 48)))
+            for _ in range(60)
+        ]
+        for i, prefix in enumerate(prefixes):
+            table.add(Announcement(prefix=prefix, origin_asn=1000 + i))
+        probes = [rng.getrandbits(128) for _ in range(200)]
+        probes += [p.network | 5 for p in prefixes]
+        before = [table.origin_of(a) for a in probes]
+        table.freeze_lookups()
+        assert [table.origin_of(a) for a in probes] == before
+        assert table.has_cover(prefixes[0])
+        with pytest.raises(TypeError):
+            table.add(Announcement(prefix=IPv6Prefix(0, 0), origin_asn=1))
+        with pytest.raises(TypeError):
+            table.withdraw(prefixes[0])
