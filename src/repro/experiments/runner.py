@@ -31,6 +31,7 @@ from . import (  # noqa: E402
     fig7,
     fig8,
     fig10,
+    strategy_race,
     table1,
     table2,
     table3,
@@ -49,7 +50,29 @@ EXPERIMENTS: dict[str, Callable[[ExperimentContext], ExperimentReport]] = {
     "fig7": fig7.run,
     "fig8": fig8.run,
     "fig10": fig10.run,
+    "strategy-race": strategy_race.run,
 }
+
+
+def write_report_artifacts(report: ExperimentReport, report_dir: Path) -> list[Path]:
+    """Persist one report under ``report_dir``; returns the paths written.
+
+    Every report gets ``<id>.txt`` (the paper-style text).  Reports that
+    carry a deterministic table (``table_jsonl`` in their data — today
+    the strategy race) additionally get ``<id>.jsonl``, the bytes CI
+    uploads as the comparison-table artifact.
+    """
+    report_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    text_path = report_dir / f"{report.experiment_id}.txt"
+    text_path.write_text(str(report) + "\n", encoding="utf-8")
+    written.append(text_path)
+    table = report.data.get("table_jsonl")
+    if table is not None:
+        table_path = report_dir / f"{report.experiment_id}.jsonl"
+        table_path.write_text(table, encoding="utf-8")
+        written.append(table_path)
+    return written
 
 
 def resolve_experiment_ids(requested: list[str]) -> list[str]:
@@ -93,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (table1..table4, fig3..fig10) or 'all'",
+        help="experiment ids (table1..table4, fig3..fig10, "
+        "strategy-race) or 'all'",
     )
     parser.add_argument(
         "--scale",
@@ -126,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
         "--checkpoint-dir",
         help="journal every campaign scan here; an interrupted run "
         "resumes from the journals and regenerates identical outputs",
+    )
+    parser.add_argument(
+        "--report-dir",
+        help="also write each report's text (and any deterministic "
+        "table, e.g. strategy-race's comparison JSONL) to this "
+        "directory",
     )
     parser.add_argument(
         "--telemetry-out",
@@ -220,6 +250,9 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(report)
         print(f"[{experiment_id} regenerated in {elapsed:.1f}s]\n")
+        if args.report_dir:
+            for path in write_report_artifacts(report, Path(args.report_dir)):
+                print(f"[wrote {path}]", file=sys.stderr)
     if telemetry is not None:
         if args.telemetry_out:
             telemetry.write_jsonl(args.telemetry_out)

@@ -1,0 +1,275 @@
+"""The strategy race: SRA probing vs. the field, one world, one budget.
+
+Runs every registered discovery strategy (``sra-anycast``,
+``random-baseline``, ``entropy-clustered``, ``hitlist-feedback``) on the
+same world under a shared per-epoch probe budget and emits a
+deterministic comparison table:
+
+* **yield** — new and cumulative router IPs per epoch (the paper's core
+  comparison: does SRA find periphery routers the others miss?),
+* **stability** — Jaccard overlap of consecutive epochs' router IPs
+  (Fig. 5's re-scan stability, per strategy),
+* **rate-limit exposure** — RFC 4443 suppressions the strategy's probes
+  triggered (error-hungry strategies burn router token buckets),
+* **telescope exposure** — probes landing in unallocated space, from the
+  :class:`~repro.scanner.strategies.telescope.Telescope` observer.
+
+Every strategy scans through the same (optionally sharded) substrate
+with the same pacing rule, and adaptive strategies observe each epoch's
+merged records before producing the next window — so the whole table is
+a deterministic function of (world seed, race seed, budget), byte
+identical across shard counts and across interrupt+resume (pinned by
+the golden and fault tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.probing import _scan
+from ..scanner.pacing import paced_pps
+from ..scanner.strategies import Telescope, build_strategy, strategy_names
+from ..scanner.zmapv6 import ScanConfig
+from .base import ExperimentReport
+
+if TYPE_CHECKING:
+    from ..scanner.sharded import ShardedScanRunner
+    from ..telemetry.scan import ScanTelemetry
+    from ..topology.entities import World
+    from .world import ExperimentContext
+
+# Race scans live in their own epoch band so world dynamics (staleness,
+# per-epoch behaviour) never collide with the table/figure campaigns.
+EPOCH_BASE = 3000
+
+
+@dataclass(slots=True)
+class StrategyEpochRow:
+    """One (strategy, epoch) line of the comparison table."""
+
+    strategy: str
+    epoch: int
+    targets: int
+    records: int
+    new_router_ips: int
+    cumulative_router_ips: int
+    overlap: float | None  # Jaccard vs previous epoch; None for epoch 0
+    suppressed_errors: int
+    dark_probes: int
+    dark_share: float
+
+
+@dataclass(slots=True)
+class StrategySummary:
+    """One strategy's totals across the race."""
+
+    strategy: str
+    probes: int
+    router_ips: int
+    echo_router_ips: int
+    mean_overlap: float
+    suppressed_errors: int
+    dark_probes: int
+    dark_share: float
+
+
+@dataclass(slots=True)
+class RaceResult:
+    """The full race: per-epoch rows plus per-strategy summaries."""
+
+    epochs: int
+    budget: int
+    seed: int
+    rows: list[StrategyEpochRow] = field(default_factory=list)
+    summaries: list[StrategySummary] = field(default_factory=list)
+
+    def to_table_jsonl(self) -> str:
+        """The comparison table as deterministic JSONL.
+
+        Fixed key order, fixed separators, rows before summaries — the
+        bytes the golden test and the CI artifact pin.
+        """
+        lines = [
+            json.dumps({"kind": "epoch", **asdict(row)}, sort_keys=False)
+            for row in self.rows
+        ]
+        lines += [
+            json.dumps({"kind": "summary", **asdict(summary)}, sort_keys=False)
+            for summary in self.summaries
+        ]
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def summary_for(self, strategy: str) -> StrategySummary:
+        for summary in self.summaries:
+            if summary.strategy == strategy:
+                return summary
+        raise KeyError(strategy)
+
+
+def _jaccard(current: set[int], previous: set[int]) -> float | None:
+    union = current | previous
+    return len(current & previous) / len(union) if union else 0.0
+
+
+def run_strategy_race(
+    world: "World",
+    *,
+    strategies: "tuple[str, ...] | None" = None,
+    epochs: int = 4,
+    budget: int = 10_000,
+    seed: int = 97,
+    pps: float = 50_000.0,
+    scan_duration: float = 6.0,
+    batch_size: int = 1024,
+    runner: "ShardedScanRunner | None" = None,
+    telemetry: "ScanTelemetry | None" = None,
+    epoch_base: int = EPOCH_BASE,
+) -> RaceResult:
+    """Race the strategies head-to-head under one probe budget.
+
+    Strategies run in sorted-name order, each over the same epoch band
+    ``epoch_base..epoch_base+epochs`` so every strategy faces identical
+    world states.  Passing a ``runner`` shards each epoch's scan —
+    merge determinism makes the result identical at any shard count.
+    """
+    if epochs < 1:
+        raise ValueError(f"race needs at least one epoch, got {epochs}")
+    names = tuple(strategies) if strategies is not None else strategy_names()
+    race = RaceResult(epochs=epochs, budget=budget, seed=seed)
+    for name in names:
+        strategy = build_strategy(name, world, seed=seed, budget=budget)
+        telescope = Telescope(world)
+        cumulative: set[int] = set()
+        echo_cumulative: set[int] = set()
+        previous_ips: set[int] | None = None
+        probes = suppressed_total = dark_total = records_total = 0
+        overlaps: list[float] = []
+        for index in range(epochs):
+            window = strategy.window(index)
+            paced = paced_pps(len(window), scan_duration, pps)
+            result = _scan(
+                world,
+                ScanConfig(
+                    pps=paced, seed=seed + index, batch_size=batch_size
+                ),
+                window,
+                name=f"race-{name}-e{index}",
+                epoch=epoch_base + index,
+                runner=runner,
+                telemetry=telemetry,
+            )
+            watched = telescope.observe_window(
+                window, strategy=name, epoch=index
+            )
+            epoch_ips = result.sources()
+            new_ips = len(epoch_ips - cumulative)
+            cumulative |= epoch_ips
+            echo_cumulative |= result.echo_sources()
+            overlap = (
+                _jaccard(epoch_ips, previous_ips)
+                if previous_ips is not None
+                else None
+            )
+            if overlap is not None:
+                overlaps.append(overlap)
+            previous_ips = epoch_ips
+            stats = result.engine_stats
+            suppressed = stats.suppressed_errors if stats is not None else 0
+            race.rows.append(
+                StrategyEpochRow(
+                    strategy=name,
+                    epoch=index,
+                    targets=len(window),
+                    records=result.received,
+                    new_router_ips=new_ips,
+                    cumulative_router_ips=len(cumulative),
+                    overlap=overlap,
+                    suppressed_errors=suppressed,
+                    dark_probes=watched.dark,
+                    dark_share=watched.dark_share,
+                )
+            )
+            probes += len(window)
+            records_total += result.received
+            suppressed_total += suppressed
+            dark_total += watched.dark
+            if telemetry is not None:
+                telemetry.strategy_window_finished(
+                    strategy=name,
+                    epoch=index,
+                    targets=len(window),
+                    new_router_ips=new_ips,
+                    cumulative_router_ips=len(cumulative),
+                    dark_probes=watched.dark,
+                    suppressed_errors=suppressed,
+                )
+            # Feed the epoch's merged records back *after* bookkeeping:
+            # adaptive strategies shape the next window from exactly the
+            # records a resumed run reconstructs from its journal.
+            strategy.observe(result.records)
+        race.summaries.append(
+            StrategySummary(
+                strategy=name,
+                probes=probes,
+                router_ips=len(cumulative),
+                echo_router_ips=len(echo_cumulative),
+                mean_overlap=(
+                    sum(overlaps) / len(overlaps) if overlaps else 0.0
+                ),
+                suppressed_errors=suppressed_total,
+                dark_probes=dark_total,
+                dark_share=dark_total / probes if probes else 0.0,
+            )
+        )
+    return race
+
+
+def format_race_table(race: RaceResult) -> str:
+    """The comparison table as aligned text (the report body)."""
+    lines = [
+        f"Strategy race: {race.epochs} epochs x {race.budget} probe budget "
+        f"(seed {race.seed})",
+        "",
+        f"{'strategy':<18} {'epoch':>5} {'targets':>8} {'new':>6} "
+        f"{'cum':>6} {'overlap':>8} {'supp':>6} {'dark':>6}",
+    ]
+    for row in race.rows:
+        overlap = f"{row.overlap:.3f}" if row.overlap is not None else "-"
+        lines.append(
+            f"{row.strategy:<18} {row.epoch:>5} {row.targets:>8} "
+            f"{row.new_router_ips:>6} {row.cumulative_router_ips:>6} "
+            f"{overlap:>8} {row.suppressed_errors:>6} {row.dark_probes:>6}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'strategy':<18} {'probes':>8} {'routers':>8} {'echo':>6} "
+        f"{'overlap':>8} {'supp':>6} {'dark%':>6}"
+    )
+    for summary in race.summaries:
+        lines.append(
+            f"{summary.strategy:<18} {summary.probes:>8} "
+            f"{summary.router_ips:>8} {summary.echo_router_ips:>6} "
+            f"{summary.mean_overlap:>8.3f} {summary.suppressed_errors:>6} "
+            f"{summary.dark_share:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def run(context: "ExperimentContext") -> ExperimentReport:
+    """``sra-repro strategy-race``: the head-to-head comparison table."""
+    race = context.strategy_race
+    return ExperimentReport(
+        experiment_id="strategy-race",
+        title="Discovery-strategy race: SRA vs. the field",
+        data={
+            "epochs": race.epochs,
+            "budget": race.budget,
+            "seed": race.seed,
+            "rows": [asdict(row) for row in race.rows],
+            "summaries": [asdict(summary) for summary in race.summaries],
+            "table_jsonl": race.to_table_jsonl(),
+        },
+        text=format_race_table(race),
+    )

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 from ..analysis.comparison import SourceComparison
 from ..analysis.loops import LoopAnalysis
@@ -47,6 +48,9 @@ from ..topology.config import WorldConfig
 from ..topology.entities import World
 from ..topology.generator import build_world
 
+if TYPE_CHECKING:
+    from .strategy_race import RaceResult
+
 
 @dataclass(frozen=True, slots=True)
 class ExperimentScale:
@@ -66,6 +70,8 @@ class ExperimentScale:
     atlas_max_targets: int = 1_500
     ixp_packets: int = 2_000_000
     ixp_sample_rate: int = 256
+    race_epochs: int = 4
+    race_budget: int = 25_000
 
 
 def _auto_shards(limit: int | None = None) -> int:
@@ -126,6 +132,8 @@ def quick_scale(seed: int = 2024) -> ExperimentScale:
         atlas_max_targets=600,
         ixp_packets=800_000,
         ixp_sample_rate=128,
+        race_epochs=3,
+        race_budget=4_000,
     )
 
 
@@ -315,6 +323,26 @@ class ExperimentContext:
         comparison.add(self.atlas_dataset)
         comparison.add(self.hitlist_dataset)
         return comparison
+
+    @cached_property
+    def strategy_race(self) -> "RaceResult":
+        """The discovery-strategy race (``sra-repro strategy-race``)."""
+        # Imported lazily: strategy_race imports core.probing helpers that
+        # in turn reference this module under TYPE_CHECKING.
+        from .strategy_race import run_strategy_race
+
+        config = self.scale.survey_config
+        return run_strategy_race(
+            self.world,
+            epochs=self.scale.race_epochs,
+            budget=self.scale.race_budget,
+            seed=config.seed,
+            pps=config.pps,
+            scan_duration=config.scan_duration,
+            batch_size=config.batch_size,
+            runner=self.runner,
+            telemetry=self.telemetry,
+        )
 
     @cached_property
     def loop_analysis(self) -> LoopAnalysis:

@@ -25,7 +25,7 @@ from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
 from .checkpoint import CheckpointError
-from .records import ScanResult
+from .records import ScanResult, merge_results
 from .sharded import (
     ScanInterrupted,
     ShardedScanRunner,
@@ -42,6 +42,7 @@ from .stream import (
     make_spec,
     register_stream_builder,
 )
+from .strategies import Telescope, build_strategy, strategy_names
 from .targets import (
     TargetList,
     bgp_plain_targets,
@@ -150,6 +151,29 @@ def main(argv: list[str] | None = None) -> int:
         help="world size (tiny builds in ~1s)",
     )
     parser.add_argument("--input-set", choices=INPUT_SETS, default="bgp-plain")
+    parser.add_argument(
+        "--strategy",
+        choices=strategy_names(),
+        default=None,
+        help="run a multi-epoch discovery strategy instead of a one-shot "
+        "--input-set scan; adaptive strategies feed each epoch's records "
+        "into the next window. With --checkpoint DIR each epoch journals "
+        "there and an interrupted run resumes to identical output",
+    )
+    parser.add_argument(
+        "--strategy-epochs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="epochs of the --strategy run (default 3)",
+    )
+    parser.add_argument(
+        "--strategy-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="probe-target budget per --strategy epoch (default 5000)",
+    )
     parser.add_argument("--max-targets", type=int, default=None)
     parser.add_argument("--pps", type=float, default=None, help="probe rate")
     parser.add_argument(
@@ -276,6 +300,25 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-shard-retries must be >= 0")
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
+    if args.strategy is None:
+        for flag, value in (
+            ("--strategy-epochs", args.strategy_epochs),
+            ("--strategy-budget", args.strategy_budget),
+        ):
+            if value is not None:
+                parser.error(f"{flag} requires --strategy")
+    else:
+        if args.stream_records:
+            parser.error(
+                "--stream-records is incompatible with --strategy: "
+                "adaptive strategies re-read each epoch's record set"
+            )
+        if args.pcap:
+            parser.error("--pcap is not supported in --strategy mode")
+        if args.strategy_epochs is not None and args.strategy_epochs < 1:
+            parser.error("--strategy-epochs must be >= 1")
+        if args.strategy_budget is not None and args.strategy_budget < 1:
+            parser.error("--strategy-budget must be >= 1")
     if args.stream_records:
         if not (args.output or args.jsonl):
             parser.error("--stream-records needs --output and/or --jsonl")
@@ -306,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         world = _artifact_world(config, args.world_artifact)
     else:
         world = build_world(config)
+    if args.strategy:
+        return _strategy_scan(world, args)
     targets = build_targets(
         world, args.input_set, max_targets=args.max_targets, seed=args.seed
     )
@@ -429,6 +474,127 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 3
+    return 0
+
+
+def _strategy_scan(world, args) -> int:
+    """``sra-scan --strategy``: the multi-epoch adaptive scan loop.
+
+    Each epoch scans the strategy's current window through a (possibly
+    sharded) runner, classifies it against the telescope, feeds the
+    records back to the strategy, and rolls the router-IP tally.  With
+    ``--checkpoint DIR`` the runner journals every epoch's shards there
+    and auto-resumes: re-running the same command after an interrupt
+    reconstructs earlier epochs' records byte-identically, so adaptive
+    feedback — and therefore every later window — is unchanged.
+    """
+    epochs = args.strategy_epochs if args.strategy_epochs is not None else 3
+    budget = (
+        args.strategy_budget if args.strategy_budget is not None else 5_000
+    )
+    shards = auto_shard_count() if args.shards == 0 else args.shards
+    telemetry = (
+        ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
+    )
+    runner = ShardedScanRunner(
+        world,
+        shards=shards,
+        executor=args.parallel,
+        telemetry=telemetry,
+        max_shard_retries=args.max_shard_retries,
+        checkpoint_dir=args.checkpoint,
+    )
+    strategy = build_strategy(
+        args.strategy, world, seed=args.seed, budget=budget
+    )
+    telescope = Telescope(world)
+    cumulative: set[int] = set()
+    results: list[ScanResult] = []
+    epoch_lines: list[str] = []
+    try:
+        for index in range(epochs):
+            window = strategy.window(index)
+            pps = args.pps or max(100.0, len(window) / args.duration)
+            scan_config = ScanConfig(
+                pps=pps,
+                hop_limit=args.hop_limit,
+                seed=args.seed + index,
+                progress_every=args.progress_every,
+            )
+            if args.batch_size is not None:
+                scan_config = dc_replace(
+                    scan_config, batch_size=args.batch_size
+                )
+            result = runner.scan(
+                window,
+                scan_config,
+                name=args.strategy,
+                epoch=args.epoch + index,
+            )
+            watched = telescope.observe_window(
+                window, strategy=args.strategy, epoch=index
+            )
+            new_ips = len(result.sources() - cumulative)
+            cumulative |= result.sources()
+            stats = result.engine_stats
+            suppressed = stats.suppressed_errors if stats is not None else 0
+            if telemetry is not None:
+                telemetry.strategy_window_finished(
+                    strategy=args.strategy,
+                    epoch=index,
+                    targets=len(window),
+                    new_router_ips=new_ips,
+                    cumulative_router_ips=len(cumulative),
+                    dark_probes=watched.dark,
+                    suppressed_errors=suppressed,
+                )
+            strategy.observe(result.records)
+            results.append(result)
+            epoch_lines.append(
+                f"epoch {index}  : {len(window)} targets, "
+                f"+{new_ips} router IPs ({len(cumulative)} total), "
+                f"{watched.dark} dark, {suppressed} suppressed"
+            )
+    except CheckpointError as error:
+        print(f"sra-scan: {error}", file=sys.stderr)
+        return 4
+    except ScanInterrupted as interrupted:
+        print(f"sra-scan: {interrupted}", file=sys.stderr)
+        if args.checkpoint:
+            print(
+                "sra-scan: re-run the same command to resume from "
+                f"{args.checkpoint}",
+                file=sys.stderr,
+            )
+        return 5
+    except ShardFailedError as failure:
+        print(f"sra-scan: {failure}", file=sys.stderr)
+        return 1
+    merged = merge_results(args.strategy, results)
+    if not args.no_alias_filter:
+        merged, _ = filter_aliased(merged, published_alias_list(world))
+    if telemetry is not None:
+        if args.telemetry_out:
+            telemetry.write_jsonl(args.telemetry_out)
+        if args.metrics_out:
+            telemetry.write_prometheus(args.metrics_out)
+    if args.ring_stats_out:
+        import json
+
+        Path(args.ring_stats_out).write_text(
+            json.dumps(runner.ring_stats.as_dict(), indent=2) + "\n"
+        )
+    if args.output:
+        merged.write_csv(args.output)
+    if args.jsonl:
+        merged.write_jsonl(args.jsonl)
+    if args.summary or not (args.output or args.jsonl):
+        print(f"strategy   : {args.strategy} ({epochs} epochs x {budget} budget)")
+        print(f"shards     : {shards} ({args.parallel})")
+        for line in epoch_lines:
+            print(line)
+        print(f"replies    : {merged.received}")
+        print(f"router IPs : {len(merged.sources())}")
     return 0
 
 

@@ -1,0 +1,204 @@
+"""Pluggable discovery strategies: one interface over many generators.
+
+The paper's core claim is comparative — subnet-router anycast probing
+discovers periphery routers that *other* IPv6 scanning strategies miss.
+Testing that fairly requires every strategy behind one interface so the
+race harness (:mod:`repro.experiments.strategy_race`) can hold the
+world, the probe budget and the scan substrate constant while varying
+only target generation.
+
+A :class:`TargetStrategy` produces one :class:`~repro.scanner.stream.TargetStream`
+per epoch (its *window*).  Windows ride the existing stream machinery
+unchanged: they are index-seekable (so :func:`shard_positions` tiles
+them), carry provenance (name, subnet length), and expose a picklable
+:class:`~repro.scanner.stream.StreamSpec` — sharded process pools ship
+the strategy recipe, never target data.
+
+Feedback-driven strategies implement :meth:`TargetStrategy.observe`:
+the race feeds each epoch's merged records back before asking for the
+next window.  Two invariants make adaptive scans crash-tolerant:
+
+* ``observe`` must be a pure function of the record *set* (order
+  independent) folded into the prior feedback state, and
+* :meth:`feedback_state` / :meth:`restore` round-trip that state as a
+  small picklable tuple, which also rides inside the window spec.
+
+Together they guarantee that a scan interrupted mid-epoch and resumed
+from its checkpoint journal — which reproduces the epoch's records
+byte-identically — reconstructs the exact same next-epoch window
+(pinned by ``tests/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Iterable
+
+from ..records import ScanRecord
+from ..stream import (
+    ListStream,
+    StreamSpec,
+    TargetStream,
+    make_spec,
+    register_stream_builder,
+)
+from ..targets import _bounded
+
+if TYPE_CHECKING:  # strategies rebuild from a world; ducks otherwise
+    from ...topology.entities import World
+
+__all__ = [
+    "TargetStrategy",
+    "build_strategy",
+    "register_strategy",
+    "strategy_names",
+]
+
+DEFAULT_BUDGET = 10_000
+
+
+class TargetStrategy(ABC):
+    """A (possibly feedback-driven) producer of probe-target windows.
+
+    Subclasses set ``name`` (the registry key), implement
+    :meth:`targets_for`, and — when adaptive — override
+    :meth:`observe`/:meth:`feedback_state`/:meth:`restore` as a matched
+    triple.  ``budget`` caps every window's size; ``seed`` drives any
+    randomised expansion, so a strategy's windows are a deterministic
+    function of ``(world, seed, budget, feedback state, epoch)``.
+    """
+
+    name: str = "strategy"
+    subnet_length: int | None = 64
+
+    def __init__(
+        self, world: "World", *, seed: int = 0, budget: int = DEFAULT_BUDGET
+    ) -> None:
+        if budget < 1:
+            raise ValueError(f"strategy budget must be >= 1, got {budget}")
+        self.world = world
+        self.seed = seed
+        self.budget = budget
+
+    # -- the per-epoch window -- #
+
+    @abstractmethod
+    def targets_for(self, epoch: int) -> list[int]:
+        """The epoch's probe targets: deduplicated, at most ``budget``."""
+
+    def window(self, epoch: int) -> TargetStream:
+        """The epoch's targets as a provenance-carrying stream.
+
+        The stream's spec embeds the current feedback state, so a pool
+        worker rebuilding the window from the spec reproduces it without
+        ever having observed the records itself.
+        """
+        return ListStream(
+            self.targets_for(epoch),
+            name=f"{self.name}@e{epoch}",
+            subnet_length=self.subnet_length,
+            spec=self.window_spec(epoch),
+        )
+
+    def window_spec(self, epoch: int) -> StreamSpec:
+        return make_spec(
+            "strategy-window",
+            __name__,
+            strategy=self.name,
+            epoch=epoch,
+            seed=self.seed,
+            budget=self.budget,
+            feedback=self.feedback_state(),
+        )
+
+    # -- the adaptive feedback loop -- #
+
+    def observe(self, records: Iterable[ScanRecord]) -> None:
+        """Fold one epoch's scan records into the feedback state.
+
+        The default strategy is static: observing is a no-op.  Adaptive
+        overrides must derive their update from the record *set* only —
+        never record order or arrival timing — so resumed scans converge
+        to identical state.
+        """
+
+    def feedback_state(self) -> tuple:
+        """The feedback state as a small, sorted, picklable tuple."""
+        return ()
+
+    def restore(self, state: tuple) -> None:
+        """Adopt a previously exported :meth:`feedback_state`."""
+        if state:
+            raise ValueError(
+                f"strategy {self.name!r} carries no feedback state"
+            )
+
+    # -- shared helpers -- #
+
+    def _window_list(self, targets: Iterable[int]) -> list[int]:
+        """First-occurrence dedup cut to the probe budget."""
+        return _bounded(targets, self.budget)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(seed={self.seed}, budget={self.budget})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+_STRATEGIES: dict[str, type[TargetStrategy]] = {}
+
+
+def register_strategy(cls: type[TargetStrategy]) -> type[TargetStrategy]:
+    """Class decorator: register a strategy under its ``name``."""
+    name = cls.name
+    if not name or name == TargetStrategy.name:
+        raise ValueError(f"strategy class {cls.__name__} needs a real name")
+    _STRATEGIES[name] = cls
+    return cls
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in strategy modules (they self-register)."""
+    from . import baselines, entropy, feedback  # noqa: F401
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Every registered strategy name, sorted (the race's run order)."""
+    _ensure_builtin()
+    return tuple(sorted(_STRATEGIES))
+
+
+def build_strategy(
+    name: str,
+    world: "World",
+    *,
+    seed: int = 0,
+    budget: int = DEFAULT_BUDGET,
+    **kwargs,
+) -> TargetStrategy:
+    """Instantiate a registered strategy against a world."""
+    _ensure_builtin()
+    try:
+        cls = _STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; "
+            f"choose from {', '.join(sorted(_STRATEGIES))}"
+        ) from None
+    return cls(world, seed=seed, budget=budget, **kwargs)
+
+
+def _build_strategy_window(
+    world, *, strategy: str, epoch: int, seed: int, budget: int, feedback=()
+) -> TargetStream:
+    """Stream builder: rebuild one strategy window from its spec."""
+    instance = build_strategy(strategy, world, seed=seed, budget=budget)
+    instance.restore(tuple(feedback))
+    return instance.window(epoch)
+
+
+register_stream_builder("strategy-window", _build_strategy_window)

@@ -188,6 +188,12 @@ class TargetStream(Sequence):
     computable streams report 0.  ``spec()`` returns a picklable rebuild
     recipe when the stream has one, letting sharded scans ship the spec
     instead of the data.
+
+    Slice contract (uniform across every implementation, pinned by the
+    strategy contract suite): ``stream[i:j:k]`` returns a plain
+    ``list[int]`` equal to ``list(stream)[i:j:k]``, and negative integer
+    indices count from the end.  Implementations route slices through
+    :meth:`_slice` unless the backing container already obeys this.
     """
 
     name: str = "targets"
@@ -199,6 +205,10 @@ class TargetStream(Sequence):
     @abstractmethod
     def __getitem__(self, index):  # pragma: no cover - signature only
         ...
+
+    def _slice(self, index: slice) -> list[int]:
+        """Uniform slice semantics: a plain list of the selected targets."""
+        return [self[i] for i in range(*index.indices(len(self)))]
 
     @property
     def buffered(self) -> int:
@@ -235,6 +245,11 @@ class ListStream(TargetStream):
         return len(self.targets)
 
     def __getitem__(self, index):
+        if isinstance(index, slice):
+            # Arbitrary Sequence backings (TargetList included) may hand
+            # back their own container type; the slice contract says list.
+            selected = self.targets[index]
+            return selected if isinstance(selected, list) else list(selected)
         return self.targets[index]
 
     def __iter__(self) -> Iterator[int]:
@@ -328,6 +343,8 @@ class LazyStream(TargetStream):
         return len(self._realise())
 
     def __getitem__(self, index):
+        # The realised buffer is a plain list, so integer indices, negative
+        # indices and slices all follow the uniform TargetStream contract.
         return self._realise()[index]
 
     def __iter__(self) -> Iterator[int]:
@@ -373,7 +390,7 @@ class SubnetPartitionStream(TargetStream):
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return [self[i] for i in range(*index.indices(self._count))]
+            return self._slice(index)
         if index < 0:
             index += self._count
         if not 0 <= index < self._count:
@@ -439,6 +456,8 @@ class PermutedStream(TargetStream):
         return len(self.source)
 
     def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._slice(index)
         return self.source[self.permutation[index]]
 
     def __iter__(self) -> Iterator[int]:

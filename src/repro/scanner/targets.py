@@ -41,8 +41,27 @@ class TargetList:
     def __iter__(self):
         return iter(self.targets)
 
-    def __getitem__(self, index: int) -> int:
+    def __getitem__(self, index: "int | slice") -> "int | list[int]":
+        # Slices return a plain list, matching the TargetStream contract
+        # (ListStream wraps TargetLists directly, so both must agree).
         return self.targets[index]
+
+    def head(self, k: int) -> "TargetList":
+        """The first ``k`` targets in list order.
+
+        Discovery strategies use this to cut a probe-budget window out of
+        a generated list: the list order *is* the selection priority
+        (hitlist order, entropy rank, ...), so unlike the input-set
+        budgets — where sampling preserves selection semantics — a head
+        window is the intended semantics, not a truncation artefact.
+        """
+        if k < 0:
+            raise ValueError(f"head window must be >= 0, got {k}")
+        return TargetList(
+            name=self.name,
+            targets=self.targets[:k],
+            subnet_length=self.subnet_length,
+        )
 
     def sample(self, k: int, rng: random.Random) -> "TargetList":
         """A uniform sub-sample (used to bound benchmark runtimes).

@@ -25,6 +25,10 @@ Event types and their extra fields:
   ``loops``, ``duration``
 * ``scan_finished``     — ``sent``, ``records``, ``lost``, ``loops``,
   ``duration``, ``stats`` (the final ``EngineStats`` counters)
+* ``strategy_window``   — ``targets``, ``new_router_ips``,
+  ``cumulative_router_ips``, ``dark_probes``, ``suppressed_errors``
+  (one per epoch of a discovery-strategy race; ``scan`` is the strategy
+  name)
 
 Operational (crash-recovery) event types, emitted on the facade's
 *separate* ops stream so the main stream stays byte-identical between a
@@ -58,6 +62,7 @@ EVENT_TYPES = (
     "rate_limit_engaged",
     "shard_finished",
     "scan_finished",
+    "strategy_window",
     # operational (crash-recovery / transport) stream
     "scan_checkpointed",
     "shard_retried",

@@ -106,6 +106,21 @@ LAST_DURATION_GAUGE = "sra_scan_last_duration_seconds"
 # modes, everything else is byte-identical.
 TARGETS_BUFFERED_GAUGE = "sra_scan_targets_buffered"
 RECORDS_BUFFERED_GAUGE = "sra_scan_records_buffered"
+# Per-strategy race counters: what each discovery strategy spent and
+# found, keyed by strategy name in the metric name (the flat registry
+# has no labels).  Deterministic facts of the race — main channel.
+STRATEGY_COUNTER_SUFFIXES = {
+    "windows_total": "strategy windows scanned",
+    "probes_total": "probe targets the strategy spent",
+    "discoveries_total": "router IPs first discovered by the strategy",
+    "dark_probes_total": "probes that landed in unallocated space",
+    "suppressed_errors_total": "errors rate limiting withheld from the strategy",
+}
+
+
+def strategy_metric_name(strategy: str, suffix: str) -> str:
+    """``sra_strategy_<name>_<suffix>`` with Prometheus-safe characters."""
+    return f"sra_strategy_{strategy.replace('-', '_')}_{suffix}"
 # Operational (crash-recovery) counters.  These live on the facade's
 # separate ops registry: checkpoints, retries, and resumes are properties
 # of *this process's* execution, not of the scan's deterministic outcome,
@@ -466,6 +481,50 @@ class ScanTelemetry:
             RECORDS_BUFFERED_GAUGE,
             "reply records the last scan held in memory",
         ).set(len(result.records))
+
+    def strategy_window_finished(
+        self,
+        *,
+        strategy: str,
+        epoch: int,
+        targets: int,
+        new_router_ips: int,
+        cumulative_router_ips: int,
+        dark_probes: int,
+        suppressed_errors: int,
+    ) -> None:
+        """Record one epoch of a discovery-strategy race.
+
+        Emits a main-channel ``strategy_window`` event and bumps the
+        per-strategy counters.  Everything here is a deterministic fact
+        of the race (yield, budget spend, telescope exposure), so the
+        main channel's byte-identity contract across shard counts and
+        resume paths extends to strategy telemetry unchanged.
+        """
+        self.emit(
+            make_event(
+                "strategy_window",
+                scan=strategy,
+                epoch=epoch,
+                vtime=0.0,
+                targets=targets,
+                new_router_ips=new_router_ips,
+                cumulative_router_ips=cumulative_router_ips,
+                dark_probes=dark_probes,
+                suppressed_errors=suppressed_errors,
+            )
+        )
+        amounts = {
+            "windows_total": 1,
+            "probes_total": targets,
+            "discoveries_total": new_router_ips,
+            "dark_probes_total": dark_probes,
+            "suppressed_errors_total": suppressed_errors,
+        }
+        for suffix, help_text in STRATEGY_COUNTER_SUFFIXES.items():
+            self.registry.counter(
+                strategy_metric_name(strategy, suffix), help_text
+            ).inc(amounts[suffix])
 
     # ------------------------------------------------------------------ #
     # operational (crash-recovery) channel

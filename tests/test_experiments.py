@@ -23,6 +23,7 @@ class TestRunnerPlumbing:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "table3", "table4",
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig10",
+            "strategy-race",
         }
 
     def test_unknown_experiment_raises(self, quick_context):

@@ -414,6 +414,131 @@ class TestArtifactWorldFaults:
         }
 
 
+class TestAdaptiveStrategyFaults:
+    """Crash tolerance of feedback-driven discovery strategies.
+
+    The invariant under test: a scan interrupted mid-epoch and resumed
+    from its checkpoint journal reproduces the epoch's records
+    byte-identically, so ``observe()`` folds the *same* record set into
+    the feedback state — and every later window is unchanged.
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["hitlist-feedback", "entropy-clustered"]
+    )
+    def test_resume_reconstructs_identical_next_window(
+        self, tiny_world, tmp_path, name
+    ):
+        from repro.scanner.strategies import build_strategy
+
+        def fresh(executor="thread", **kwargs):
+            return ShardedScanRunner(
+                tiny_world,
+                shards=4,
+                executor=executor,
+                retry_backoff=0.0,
+                **kwargs,
+            )
+
+        def strategy():
+            return build_strategy(name, tiny_world, seed=5, budget=400)
+
+        # Clean reference: epoch 0 uninterrupted, observe, next window.
+        clean = strategy()
+        result = fresh().scan(
+            clean.window(0),
+            CONFIG,
+            name=f"adaptive-{name}",
+            epoch=1,
+        )
+        clean.observe(result.records)
+
+        # Faulted run: interrupt after 2 of 4 shards with a checkpoint.
+        checkpoint = tmp_path / f"{name}.ckpt"
+        crashed = strategy()
+        with pytest.raises(ScanInterrupted):
+            fresh().scan(
+                crashed.window(0),
+                CONFIG,
+                name=f"adaptive-{name}",
+                epoch=1,
+                checkpoint=checkpoint,
+                chaos=ChaosEngine(plan=FaultPlan(interrupt_after_shards=2)),
+            )
+        # The crash wiped all in-memory state: rebuild the strategy cold
+        # (epoch-0 windows are pure functions of the world, so the
+        # journal's target fingerprint still matches) and resume.
+        resumed = strategy()
+        replayed = fresh().scan(
+            resumed.window(0),
+            CONFIG,
+            name=f"adaptive-{name}",
+            epoch=1,
+            checkpoint=checkpoint,
+            resume=True,
+        )
+        assert replayed.records == result.records
+        resumed.observe(replayed.records)
+        assert resumed.feedback_state() == clean.feedback_state()
+        assert resumed.feedback_state()  # the scan actually taught it
+        assert list(resumed.window(1)) == list(clean.window(1))
+        assert resumed.window_spec(1) == clean.window_spec(1)
+
+    def test_interrupted_race_resumes_to_identical_table(
+        self, tiny_world, tmp_path
+    ):
+        """The acceptance criterion end to end: interrupt the race mid
+        strategy, re-run the same command, get byte-identical JSONL."""
+        from repro.experiments.strategy_race import run_strategy_race
+
+        kwargs = dict(epochs=2, budget=200, seed=5)
+        clean = run_strategy_race(tiny_world, **kwargs).to_table_jsonl()
+
+        checkpoint_dir = str(tmp_path / "race-ckpt")
+
+        class InterruptingRunner(ShardedScanRunner):
+            """Injects one mid-scan interrupt into the Nth scan call."""
+
+            def __init__(self, *args, interrupt_call, **kw):
+                super().__init__(*args, **kw)
+                self._calls = 0
+                self._interrupt_call = interrupt_call
+
+            def scan(self, *args, **kw):
+                self._calls += 1
+                if self._calls == self._interrupt_call:
+                    kw["chaos"] = ChaosEngine(
+                        plan=FaultPlan(interrupt_after_shards=2)
+                    )
+                return super().scan(*args, **kw)
+
+        # Crash inside the 3rd scan — mid-way through the second
+        # strategy, after adaptive feedback has already evolved.
+        faulted_runner = InterruptingRunner(
+            tiny_world,
+            shards=4,
+            executor="thread",
+            retry_backoff=0.0,
+            checkpoint_dir=checkpoint_dir,
+            interrupt_call=3,
+        )
+        with pytest.raises(ScanInterrupted):
+            run_strategy_race(tiny_world, runner=faulted_runner, **kwargs)
+
+        # "Re-run the same command": a fresh runner over the same
+        # checkpoint dir auto-resumes every journalled scan.
+        resumed_runner = ShardedScanRunner(
+            tiny_world,
+            shards=4,
+            executor="thread",
+            checkpoint_dir=checkpoint_dir,
+        )
+        resumed = run_strategy_race(
+            tiny_world, runner=resumed_runner, **kwargs
+        )
+        assert resumed.to_table_jsonl() == clean
+
+
 class TestSinkFaults:
     def test_sink_failure_surfaces_and_aborts_cleanly(
         self, tiny_world, fault_targets, tmp_path

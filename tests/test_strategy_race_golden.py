@@ -1,0 +1,79 @@
+"""Golden-file regression test for the strategy-race comparison table.
+
+A fixed-seed race on the tiny world must emit a byte-identical JSONL
+table, forever: the golden pins the table schema (field names, key
+order, number formatting) *and* the behaviour of every strategy — any
+change to window generation, feedback folding, the telescope, or the
+scan substrate shows up as a diff here.
+
+Regenerate deliberately (after verifying the change is intended) with::
+
+    PYTHONPATH=src python tests/test_strategy_race_golden.py --regenerate
+"""
+
+from pathlib import Path
+
+from repro.experiments.strategy_race import run_strategy_race
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+RACE_GOLDEN = GOLDEN_DIR / "strategy_race_tiny.jsonl"
+
+# Small enough to run in ~a second, large enough that every strategy
+# yields, adaptive feedback fires, and the rate limiter engages.
+RACE_BUDGETS = dict(epochs=2, budget=200, seed=5)
+
+
+def run_golden_race(world):
+    """The exact race the golden was generated from."""
+    return run_strategy_race(world, **RACE_BUDGETS)
+
+
+class TestStrategyRaceGolden:
+    def test_table_matches_golden(self, tiny_world):
+        race = run_golden_race(tiny_world)
+        assert race.to_table_jsonl() == RACE_GOLDEN.read_text()
+
+    def test_golden_exercises_the_interesting_paths(self):
+        """The pinned table must actually cover the vocabulary — a
+        golden of nothing would regress silently."""
+        text = RACE_GOLDEN.read_text()
+        assert '"kind": "epoch"' in text
+        assert '"kind": "summary"' in text
+        for strategy in (
+            "sra-anycast",
+            "random-baseline",
+            "entropy-clustered",
+            "hitlist-feedback",
+        ):
+            assert strategy in text, strategy
+        import json
+
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert any(row.get("overlap") is None for row in rows)  # epoch 0
+        # The rate limiter engaged and the scans actually yielded.
+        assert any(row["suppressed_errors"] > 0 for row in rows)
+        assert all(
+            row["router_ips"] > 0
+            for row in rows
+            if row["kind"] == "summary"
+        )
+
+
+def _regenerate() -> None:
+    from repro.topology.config import tiny_config
+    from repro.topology.generator import build_world
+
+    world = build_world(tiny_config(seed=7))
+    race = run_golden_race(world)
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    RACE_GOLDEN.write_text(race.to_table_jsonl())
+    print(f"wrote {RACE_GOLDEN} ({len(race.rows)} rows)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -230,6 +230,53 @@ class TestComputableStreams:
         assert sorted(permuted) == list(source)
 
 
+class TestUniformSliceSemantics:
+    """Regression: every TargetStream slices like a plain list.
+
+    ``stream[i:j:k]`` must return a ``list`` equal to
+    ``list(stream)[i:j:k]`` for every implementation — ListStream used
+    to leak its backing container type (a tuple-backed list sliced to a
+    tuple) and PermutedStream raised ``TypeError`` on slices.
+    """
+
+    def _streams(self):
+        source = list(range(100, 140))
+        lazy = LazyStream(lambda: list(source), name="lazy")
+        return [
+            ListStream(list(source), name="list"),
+            ListStream(tuple(source), name="tuple-backed"),
+            lazy,
+            SubnetPartitionStream(IPv6Prefix.parse("2001:db8::/42"), 48),
+            PermutedStream(ListStream(list(source), name="src"), seed=3),
+        ]
+
+    @pytest.mark.parametrize(
+        "window",
+        [
+            slice(None),
+            slice(3, 17),
+            slice(17, 3, -1),
+            slice(None, None, 5),
+            slice(None, None, -1),
+            slice(-7, None),
+            slice(1000, 2000),
+        ],
+        ids=str,
+    )
+    def test_slice_matches_realised_list(self, window):
+        for stream in self._streams():
+            realised = list(stream)
+            got = stream[window]
+            assert type(got) is list, stream.name
+            assert got == realised[window], stream.name
+
+    def test_int_indexing_unchanged(self):
+        for stream in self._streams():
+            realised = list(stream)
+            assert stream[0] == realised[0]
+            assert stream[-1] == realised[-1]
+
+
 class TestSpecs:
     def test_unknown_builder_raises(self):
         spec = StreamSpec(builder="nope", module="repro.scanner.stream")
