@@ -15,9 +15,11 @@ code paths and records a trajectory future PRs must defend:
 
 Results go to ``benchmarks/results/BENCH_engine.json``; ``--check`` mode
 compares a fresh run against a committed baseline and fails on >30 %
-probes/sec regression **or any byte difference** in the records JSONL,
+probes/sec regression, **any byte difference** in the records JSONL,
 Prometheus text, or telemetry JSONL between batch sizes 1/1024 and
-1/4-way sharding (the CI smoke-perf gate on the columnar hot path).
+1/4-way sharding (the CI smoke-perf gate on the columnar hot path), or
+>5 % probes/sec overhead from the ``ProbeBackend`` seam versus an
+inline direct-engine loop on the routed workload.
 Every report also carries the shared-memory ring transport counters from
 one process-pool scan, uploaded by CI as an artifact.
 
@@ -46,6 +48,10 @@ from repro.topology.generator import build_world
 DEFAULT_RESULTS = Path(__file__).parent / "results" / "BENCH_engine.json"
 DEFAULT_PROBES = 60_000
 DEFAULT_TOLERANCE = 0.30
+# The backend seam (ProbeBackend between scanner and engine) must stay
+# within this fraction of a seamless direct-engine loop on the routed
+# sim path — the refactor's "zero-cost abstraction" budget.
+SEAM_TOLERANCE = 0.05
 
 # A ULA block: never announced by the generator, so always unrouted.
 _UNROUTED_BASE = IPv6Prefix.parse("fd00::/8").network
@@ -122,6 +128,136 @@ def time_workload(
         "received": received,
         "seconds": round(best, 6),
         "pps": round(len(targets) / best, 1),
+    }
+
+
+def _inline_engine_scan(
+    world: World, targets: list[int], pps: float
+) -> list:
+    """The pre-seam hot loop: scanner logic driving the engine directly.
+
+    A faithful replica of the scanner's batched path — same permutation,
+    pacing, columnar kernel, and record construction — with the
+    ``ProbeBackend`` indirection removed.  This is the seamless baseline
+    the seam measurement compares against; telemetry off on both sides,
+    exactly like the timed workloads.
+    """
+    from itertools import islice
+
+    from repro.netsim.engine import FLAG_REPLY, ProbeColumns
+    from repro.scanner.records import ScanRecord
+    from repro.scanner.stream import IndexWindow, shard_positions
+
+    engine = SimulationEngine(world, epoch=0)
+    probe_columns = engine.probe_columns
+    need_ids = engine.world.packet_loss > 0.0
+    epoch_bits = engine.epoch << 32
+    records: list = []
+    append_record = records.append
+    cols = ProbeColumns()
+    batch = 1024
+    positions = shard_positions(
+        len(targets),
+        seed=3,
+        epoch=engine.epoch,
+        window=IndexWindow(0, 1),
+        permute=True,
+    )
+    while True:
+        chunk = list(islice(positions, batch))
+        if not chunk:
+            break
+        batch_targets = [targets[index] for _, index in chunk]
+        batch_times = [position / pps for position, _ in chunk]
+        batch_ids = (
+            [epoch_bits | index for _, index in chunk] if need_ids else None
+        )
+        probe_columns(
+            batch_targets,
+            batch_times,
+            hop_limit=64,
+            probe_ids=batch_ids,
+            out=cols,
+        )
+        flags = cols.flags
+        source_hi = cols.source_hi
+        source_lo = cols.source_lo
+        icmp_col = cols.icmp_type
+        code_col = cols.code
+        count_col = cols.count
+        for offset in range(len(chunk)):
+            f = flags[offset]
+            if not f:
+                continue
+            if f & FLAG_REPLY:
+                append_record(
+                    ScanRecord(
+                        target=batch_targets[offset],
+                        source=(source_hi[offset] << 64) | source_lo[offset],
+                        icmp_type=icmp_col[offset],
+                        code=code_col[offset],
+                        count=count_col[offset],
+                        time=batch_times[offset],
+                    )
+                )
+    return records
+
+
+def measure_seam(
+    world: World, workloads: dict, *, repeats: int
+) -> dict[str, float]:
+    """Seam overhead on the routed sim path: scanner vs inline loop.
+
+    The two loops do identical work, so the true seam cost is a fixed
+    multiplicative factor — and scheduler noise only ever *adds* time,
+    so the best-of-N minimum is a consistent estimator of each
+    variant's true cost.  Two defences against bursty shared-runner
+    noise: the seam scan is stretched to at least 60 k probes (long
+    enough that sub-100 ms steal bursts cannot swallow a whole run),
+    and the repeat floor gives each variant at least 8 interleaved
+    tries to land one quiet run.  The order within each interleaved
+    pair alternates per repeat (allocator and cache state favour
+    whichever loop runs second).
+    """
+    targets, pps = workloads["routed"]
+    targets = _cycle_to(targets, max(len(targets), 60_000))
+
+    def run_inline() -> int:
+        return len(_inline_engine_scan(world, targets, pps))
+
+    def run_scanner() -> int:
+        engine = SimulationEngine(world, epoch=0)
+        scanner = ZMapV6Scanner(engine, ScanConfig(pps=pps, seed=3))
+        return len(scanner.scan(targets, name="bench-seam").records)
+
+    variants = {"inline": run_inline, "scanner": run_scanner}
+    best = {"inline": float("inf"), "scanner": float("inf")}
+    records = {"inline": 0, "scanner": 0}
+    for index in range(max(repeats, 8)):
+        order = ("inline", "scanner") if index % 2 == 0 else ("scanner", "inline")
+        for name in order:
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                started = time.perf_counter()
+                records[name] = variants[name]()
+                elapsed = time.perf_counter() - started
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            best[name] = min(best[name], elapsed)
+            gc.collect()
+        # Both variants must do the same work, or the timing is a lie.
+        if records["inline"] != records["scanner"]:
+            raise SystemExit(
+                "seam benchmark divergence: inline loop and scanner "
+                f"produced {records['inline']} vs {records['scanner']} "
+                "records"
+            )
+    return {
+        "inline_pps": round(len(targets) / best["inline"], 1),
+        "scanner_pps": round(len(targets) / best["scanner"], 1),
+        "overhead": round(1.0 - best["inline"] / best["scanner"], 4),
     }
 
 
@@ -242,6 +378,11 @@ def run_benchmark(
             **report["ring"]
         )
     )
+    report["seam"] = measure_seam(world, workloads, repeats=repeats)
+    print(
+        "backend seam   scanner {scanner_pps:>12,.0f} probes/s vs inline "
+        "{inline_pps:,.0f} ({overhead:+.1%} overhead)".format(**report["seam"])
+    )
     return report, world, workloads
 
 
@@ -307,6 +448,18 @@ def main(argv=None):
             status = 1
         else:
             print("byte-identity ok (batch 1/1024, shards 1/4)")
+        overhead = report["seam"]["overhead"]
+        if overhead > SEAM_TOLERANCE:
+            print(
+                f"backend seam FAILED: {overhead:.1%} overhead exceeds "
+                f"{SEAM_TOLERANCE:.0%} budget on the routed sim path"
+            )
+            status = 1
+        else:
+            print(
+                f"backend seam ok ({overhead:+.1%} vs inline, "
+                f"budget {SEAM_TOLERANCE:.0%})"
+            )
         return status
     return 0
 

@@ -89,6 +89,10 @@ class SurveyConfig:
     # path).  Like the sharding knobs this is a pure throughput dial:
     # results are bit-identical for any value.
     batch_size: int = 1024
+    # Probe backend for every survey scan ("sim" or "wire-sim"; the
+    # sharded runner refuses non-deterministic backends).  Another pure
+    # execution dial: wire-sim output is byte-identical to sim's.
+    backend: str = "sim"
     # Observability: when True the survey creates (or reuses, if one is
     # passed to SRASurvey) a ScanTelemetry facade shared across all five
     # input-set scans; progress_every is the per-scan probe cadence of
@@ -351,6 +355,7 @@ class SRASurvey:
             seed=self.config.seed,
             batch_size=self.config.batch_size,
             progress_every=self.config.progress_every,
+            backend=self.config.backend,
         )
         raw = self.runner.scan(
             targets, scan_config, name=name, epoch=epoch, telemetry=self.telemetry

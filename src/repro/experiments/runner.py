@@ -15,6 +15,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from ..scanner.backends import backend_names
 from ..scanner.checkpoint import CheckpointError
 from ..scanner.sharded import ScanInterrupted, ShardFailedError
 from ..telemetry.scan import ScanTelemetry
@@ -147,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical for any value)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="probe backend for every campaign scan: 'sim' (default) or "
+        "'wire-sim' (byte-accurate wire round trip; identical outputs, "
+        "slower). 'raw' is refused — experiments run on the simulator",
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         help="journal every campaign scan here; an interrupted run "
         "resumes from the journals and regenerates identical outputs",
@@ -183,6 +192,22 @@ def main(argv: list[str] | None = None) -> int:
         if problem is not None:
             print(f"sra-repro: {problem}", file=sys.stderr)
             return 2
+    if args.backend is not None:
+        if args.backend == "raw":
+            print(
+                "sra-repro: --backend raw is not allowed; experiments "
+                "reproduce the paper on the simulator (use sra-scan "
+                "--backend raw --i-am-authorized for real probing)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.backend not in backend_names():
+            print(
+                f"sra-repro: unknown backend {args.backend!r} "
+                f"(choose from {', '.join(backend_names())})",
+                file=sys.stderr,
+            )
+            return 2
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
     for flag, value in (
@@ -215,6 +240,7 @@ def main(argv: list[str] | None = None) -> int:
         checkpoint_dir=args.checkpoint_dir,
         pps=args.pps,
         batch_size=args.batch_size,
+        backend=args.backend,
     )
     telemetry = (
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None

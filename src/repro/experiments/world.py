@@ -352,7 +352,9 @@ class ExperimentContext:
 
 
 _CONTEXTS: dict[
-    tuple[str, int, int | None, str | None, float | None, int | None],
+    tuple[
+        str, int, int | None, str | None, float | None, int | None, str | None
+    ],
     ExperimentContext,
 ] = {}
 
@@ -365,6 +367,7 @@ def get_context(
     checkpoint_dir: str | None = None,
     pps: float | None = None,
     batch_size: int | None = None,
+    backend: str | None = None,
 ) -> ExperimentContext:
     """Process-level memoised context (scales: 'quick', 'full').
 
@@ -375,13 +378,16 @@ def get_context(
     journals and regenerates identical tables/figures.  ``pps`` and
     ``batch_size`` override the scale's survey scanner knobs; a
     non-positive value raises :class:`ValueError` (the CLI rejects these
-    before ever getting here).
+    before ever getting here).  ``backend`` selects the probe backend for
+    every campaign scan — deterministic simulated backends only (the
+    sharded runner refuses the rest), and ``sim``/``wire-sim`` produce
+    identical outputs.
     """
     if pps is not None and pps <= 0:
         raise ValueError(f"pps must be positive, got {pps}")
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    key = (scale, seed, shards, checkpoint_dir, pps, batch_size)
+    key = (scale, seed, shards, checkpoint_dir, pps, batch_size, backend)
     if key not in _CONTEXTS:
         try:
             factory = SCALES[scale]
@@ -399,6 +405,8 @@ def get_context(
             overrides["pps"] = pps
         if batch_size is not None:
             overrides["batch_size"] = batch_size
+        if backend is not None:
+            overrides["backend"] = backend
         if overrides:
             built = replace(
                 built,

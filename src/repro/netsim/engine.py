@@ -293,6 +293,17 @@ class SimulationEngine:
         self._bg_load.clear()
         self._bg_window.clear()
 
+    def as_backend(self):
+        """This engine behind the scanner's probe-backend seam.
+
+        Returns a :class:`~repro.scanner.backends.sim.SimBackend`
+        wrapping ``self`` (imported locally: the engine must stay
+        importable without the scanner package).
+        """
+        from ..scanner.backends.sim import SimBackend
+
+        return SimBackend(self)
+
     # ------------------------------------------------------------------ #
     # the probe path
     # ------------------------------------------------------------------ #

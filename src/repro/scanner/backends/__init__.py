@@ -1,0 +1,40 @@
+"""Probe backends: simulator, wire-format loopback, raw-socket ICMPv6.
+
+Importing this package registers the three stock backends (``sim``,
+``wire-sim``, ``raw``) — it is the default ``module`` of every
+:class:`BackendSpec`, so pool workers rebuilding a backend from a spec
+resolve them without any other import.
+"""
+
+from .base import (
+    BackendAuthorizationError,
+    BackendError,
+    BackendPrivilegeError,
+    BackendSpec,
+    ProbeBackend,
+    backend_class,
+    backend_names,
+    build_backend,
+    make_backend_spec,
+    register_backend,
+)
+from .raw import RawSocketBackend
+from .sim import SimBackend
+from .wiresim import DEFAULT_PROBE_KEY, WireSimBackend
+
+__all__ = [
+    "DEFAULT_PROBE_KEY",
+    "BackendAuthorizationError",
+    "BackendError",
+    "BackendPrivilegeError",
+    "BackendSpec",
+    "ProbeBackend",
+    "RawSocketBackend",
+    "SimBackend",
+    "WireSimBackend",
+    "backend_class",
+    "backend_names",
+    "build_backend",
+    "make_backend_spec",
+    "register_backend",
+]

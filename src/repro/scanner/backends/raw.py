@@ -1,0 +1,324 @@
+"""``raw``: opt-in raw-socket ICMPv6 echo probing of real networks.
+
+The only backend that leaves the process.  It is **never** a default:
+construction requires ``authorized=True`` (the CLIs map this to an
+explicit ``--i-am-authorized`` flag), and :meth:`open` converts a
+raw-socket permission failure into a typed
+:class:`~repro.scanner.backends.base.BackendPrivilegeError` — unprivileged
+environments (CI, tests) can import, spec-validate, and reason about this
+backend without ever opening a socket.
+
+Send path: probes are encoded with the same byte-accurate
+:mod:`repro.packet` codecs the ``wire-sim`` backend proves out (the
+kernel prepends the IPv6 header and fixes the ICMPv6 checksum on
+``IPPROTO_ICMPV6`` raw sockets, so only the ICMPv6 bytes are written).
+Pacing follows :func:`repro.scanner.pacing.paced_pps` — the shared rate
+policy of the whole reproduction — realised on the wall clock.
+
+Receive path: an asynchronous thread decodes every inbound ICMPv6
+message and recovers the probed target via
+:func:`repro.packet.probe.extract_probe`; only replies that authenticate
+against this scan's key and match an outstanding probe id are kept
+(zmap's validation discipline).  Everything else — other hosts' traffic,
+scans by third parties, our own looped-back Echo Requests excepted —
+counts into ``unmatched_replies``, the same visible-loss accounting the
+wire-sim backend introduced.
+
+Operational discipline follows the scanning-etiquette literature the
+issue cites: a hard rate ceiling, probe-order target permutation
+upstream (the scanner spreads probes across networks), and a scan key
+that makes our probes attributable and filterable.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time as wallclock
+from typing import TYPE_CHECKING, Sequence
+
+from ...netsim.engine import EngineStats, ProbeResult, Reply
+from ...packet.icmpv6 import ICMPv6Message, ICMPv6Type, echo_request
+from ...packet.ipv6hdr import PacketError
+from ...packet.probe import encode_payload, extract_probe
+from ..pacing import paced_pps
+from .base import (
+    BackendAuthorizationError,
+    BackendPrivilegeError,
+    BackendSpec,
+    ProbeBackend,
+    make_backend_spec,
+    register_backend,
+)
+from .wiresim import DEFAULT_PROBE_KEY
+
+if TYPE_CHECKING:
+    from ...topology.entities import World
+
+
+def _address_text(address: int) -> str:
+    return socket.inet_ntop(
+        socket.AF_INET6, address.to_bytes(16, "big")
+    )
+
+
+def _address_int(text: str) -> int:
+    return int.from_bytes(socket.inet_pton(socket.AF_INET6, text), "big")
+
+
+class RawSocketBackend(ProbeBackend):
+    """ICMPv6 Echo probing through a raw socket; explicit opt-in only."""
+
+    name = "raw"
+    supports_columns = False
+    deterministic = False
+    requires_privilege = True
+
+    def __init__(
+        self,
+        *,
+        key: bytes = DEFAULT_PROBE_KEY,
+        authorized: bool = False,
+        pps: float = 1_000.0,
+        linger: float = 1.0,
+    ) -> None:
+        if not authorized:
+            raise BackendAuthorizationError(
+                "the raw backend probes real networks; pass "
+                "authorized=True (--i-am-authorized) only for targets "
+                "you are permitted to scan"
+            )
+        if pps <= 0:
+            raise ValueError(f"pps ceiling must be positive, got {pps}")
+        if linger < 0:
+            raise ValueError(f"linger must be >= 0, got {linger}")
+        self.key = key
+        self.pps = pps
+        self.linger = linger
+        self.unmatched_replies = 0
+        self._epoch = 0
+        self._stats = EngineStats()
+        self._sock: socket.socket | None = None
+        self._receiver: threading.Thread | None = None
+        self._running = False
+        self._lock = threading.Lock()
+        # probe_id -> [(source:int, icmp_type, code), ...] in arrival order
+        self._matched: dict[int, list[tuple[int, ICMPv6Type, int]]] = {}
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: BackendSpec,
+        *,
+        world: "World | None" = None,
+        engine=None,
+        epoch: int = 0,
+        defer_rate_limit: bool = False,
+    ) -> "RawSocketBackend":
+        options = spec.arguments()
+        backend = cls(
+            key=options.get("key", DEFAULT_PROBE_KEY),
+            authorized=bool(options.get("authorized", False)),
+            pps=float(options.get("pps", 1_000.0)),
+            linger=float(options.get("linger", 1.0)),
+        )
+        backend._epoch = epoch
+        return backend
+
+    def spec(self) -> BackendSpec:
+        return make_backend_spec(
+            self.name,
+            key=self.key,
+            authorized=True,  # an instance only exists when authorized
+            pps=self.pps,
+            linger=self.linger,
+        )
+
+    # ---------------- lifecycle ---------------- #
+
+    def open(self) -> None:
+        if self._sock is not None:
+            return
+        try:
+            sock = socket.socket(
+                socket.AF_INET6, socket.SOCK_RAW, socket.IPPROTO_ICMPV6
+            )
+        except PermissionError as error:
+            raise BackendPrivilegeError(
+                "opening a raw ICMPv6 socket requires CAP_NET_RAW "
+                "(run privileged, or grant the capability)"
+            ) from error
+        except OSError as error:
+            raise BackendPrivilegeError(
+                f"raw ICMPv6 socket unavailable: {error}"
+            ) from error
+        sock.settimeout(0.2)
+        self._sock = sock
+        self._running = True
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="raw-backend-recv", daemon=True
+        )
+        self._receiver.start()
+
+    def close(self) -> None:
+        self._running = False
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        if self._receiver is not None:
+            self._receiver.join(timeout=2.0)
+            self._receiver = None
+
+    # ---------------- epoch + observability ---------------- #
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def new_epoch(self, epoch: int) -> None:
+        self._epoch = epoch
+        self._stats = EngineStats()
+        with self._lock:
+            self._matched.clear()
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._stats
+
+    # ---------------- receive path ---------------- #
+
+    def _receive_loop(self) -> None:
+        """Match inbound ICMPv6 against outstanding probes, by probe id.
+
+        The kernel strips the IPv6 header on raw ICMPv6 receive, so the
+        checksum cannot be re-verified here (it needs the pseudo-header);
+        the authenticated payload MAC is the integrity check that
+        matters.  Our own outbound Echo Requests loop back on ``::1``
+        probes and are skipped silently — they are not "unmatched
+        traffic", they are ours.
+        """
+        while self._running:
+            sock = self._sock
+            if sock is None:
+                return
+            try:
+                data, address = sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # socket closed underneath us: shutdown
+            try:
+                message = ICMPv6Message.decode(
+                    data, src=0, dst=0, verify=False
+                )
+            except PacketError:
+                with self._lock:
+                    self.unmatched_replies += 1
+                continue
+            if message.type is ICMPv6Type.ECHO_REQUEST:
+                continue
+            # Link-local sources arrive as "fe80::1%ifname"; the scope
+            # suffix is not part of the address proper.
+            source = _address_int(address[0].split("%", 1)[0])
+            extraction = extract_probe(message, self.key)
+            with self._lock:
+                if extraction is None:
+                    self.unmatched_replies += 1
+                    continue
+                payload, _original_target = extraction
+                pending = self._matched.get(payload.probe_id)
+                if pending is None:
+                    self.unmatched_replies += 1
+                    continue
+                pending.append((source, message.type, message.code))
+
+    # ---------------- send path ---------------- #
+
+    def send_batch(
+        self,
+        targets: Sequence[int],
+        times: Sequence[float],
+        *,
+        hop_limit: int = 64,
+        probe_ids: Sequence[int] | None = None,
+    ) -> "list[ProbeResult]":
+        self.open()
+        sock = self._sock
+        assert sock is not None
+        if probe_ids is None:
+            probe_ids = [(self._epoch << 32) | index for index in range(len(targets))]
+        sock.setsockopt(
+            socket.IPPROTO_IPV6,
+            socket.IPV6_UNICAST_HOPS,
+            struct.pack("i", hop_limit),
+        )
+        # The scanner's virtual probe times already encode its pps; the
+        # wall-clock realisation re-derives the rate through the shared
+        # paced_pps policy so the backend's own ceiling caps it.
+        duration = max(0.0, float(times[-1]) - float(times[0])) if times else 0.0
+        rate = paced_pps(len(targets), duration, self.pps)
+        interval = 1.0 / rate
+        with self._lock:
+            for probe_id in probe_ids:
+                self._matched[probe_id] = []
+        started = wallclock.monotonic()
+        for index, (target, probe_id) in enumerate(zip(targets, probe_ids)):
+            due = started + index * interval
+            delay = due - wallclock.monotonic()
+            if delay > 0:
+                wallclock.sleep(delay)
+            payload = encode_payload(target, probe_id, self.key)
+            message = echo_request(
+                probe_id & 0xFFFF, (probe_id >> 16) & 0xFFFF, payload
+            )
+            # Checksum uses a zero source; the kernel recomputes it for
+            # IPPROTO_ICMPV6 raw sockets once the real source is known.
+            wire = message.encode(0, target)
+            sock.sendto(wire, (_address_text(target), 0, 0, 0))
+            self._stats.probes += 1
+        if self.linger:
+            wallclock.sleep(self.linger)
+        return self._collect(targets, times, probe_ids)
+
+    def _collect(
+        self,
+        targets: Sequence[int],
+        times: Sequence[float],
+        probe_ids: Sequence[int],
+    ) -> "list[ProbeResult]":
+        outcomes: list[ProbeResult] = []
+        with self._lock:
+            for target, time, probe_id in zip(targets, times, probe_ids):
+                arrived = self._matched.pop(probe_id, [])
+                # Aggregate duplicates (loop floods, dup delivery) into
+                # per-(source, type, code) reply counts, like the engine.
+                counted: dict[tuple[int, ICMPv6Type, int], int] = {}
+                for entry in arrived:
+                    counted[entry] = counted.get(entry, 0) + 1
+                replies = tuple(
+                    Reply(source=source, icmp_type=icmp_type, code=code, count=count)
+                    for (source, icmp_type, code), count in counted.items()
+                )
+                for reply in replies:
+                    if reply.is_echo:
+                        self._stats.echo_replies += reply.count
+                    else:
+                        self._stats.error_replies += reply.count
+                if not replies:
+                    self._stats.lost += 1
+                outcomes.append(
+                    ProbeResult(
+                        target=target,
+                        time=time,
+                        epoch=self._epoch,
+                        replies=replies,
+                        lost=not replies,
+                    )
+                )
+        return outcomes
+
+
+register_backend(RawSocketBackend.name, RawSocketBackend)

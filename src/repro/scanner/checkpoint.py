@@ -148,13 +148,16 @@ def config_key(config: "ScanConfig") -> tuple:
     Probe times, permutation order, and stochastic draws are functions of
     exactly these; ``batch_size`` and telemetry cadence are deliberately
     excluded (they are pinned bit-invariant by the determinism suite).
+    The backend rides along as its picklable ``BackendSpec`` — resuming a
+    ``wire-sim`` journal with a ``sim`` config (or a different probe key)
+    is a config mismatch like any other.
     """
     return (
         config.pps,
         config.hop_limit,
         config.seed,
         config.permute,
-        config.wire_format,
+        config.backend_spec(),
     )
 
 

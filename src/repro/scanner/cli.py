@@ -19,11 +19,13 @@ import sys
 from dataclasses import replace as dc_replace
 from pathlib import Path
 
+from ..addr.ipv6 import parse_address
 from ..core.aliasfilter import filter_aliased
 from ..datasets.tum import harvest_hitlist, published_alias_list
 from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
+from .backends import BackendPrivilegeError, RawSocketBackend, backend_names
 from .checkpoint import CheckpointError
 from .records import ScanResult, merge_results
 from .sharded import (
@@ -51,7 +53,7 @@ from .targets import (
     hitlist_slash64_targets,
     route6_slash64_targets,
 )
-from .zmapv6 import ScanConfig
+from .zmapv6 import ScanConfig, ZMapV6Scanner
 
 INPUT_SETS = ("bgp-plain", "bgp-48", "bgp-64", "route6-64", "hitlist-64")
 
@@ -189,6 +191,28 @@ def main(argv: list[str] | None = None) -> int:
         default=6.0,
         help="virtual scan duration used when --pps is not given",
     )
+    parser.add_argument(
+        "--backend",
+        default="sim",
+        metavar="NAME",
+        help="probe backend: 'sim' (default), 'wire-sim' (byte-accurate "
+        "wire round trip over the simulator; output is identical to "
+        "sim), or 'raw' (real raw-socket ICMPv6 against --targets-file; "
+        "requires --i-am-authorized and CAP_NET_RAW, never implied)",
+    )
+    parser.add_argument(
+        "--i-am-authorized",
+        action="store_true",
+        help="assert you are authorized to probe the --targets-file "
+        "hosts with --backend raw",
+    )
+    parser.add_argument(
+        "--targets-file",
+        metavar="PATH",
+        help="probe these IPv6 addresses (one per line, '#' comments) "
+        "instead of a generated input set; required by and exclusive "
+        "to --backend raw",
+    )
     parser.add_argument("--hop-limit", type=int, default=64)
     parser.add_argument("--epoch", type=int, default=0, help="scan epoch")
     parser.add_argument(
@@ -292,6 +316,47 @@ def main(argv: list[str] | None = None) -> int:
         if problem is not None:
             print(f"sra-scan: {problem}", file=sys.stderr)
             return 2
+    if args.backend not in backend_names():
+        print(
+            f"sra-scan: unknown backend {args.backend!r} "
+            f"(choose from {', '.join(backend_names())})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend == "raw":
+        for problem in (
+            "--backend raw probes real networks; pass --i-am-authorized "
+            "only for targets you are permitted to scan"
+            if not args.i_am_authorized
+            else None,
+            "--backend raw needs --targets-file (generated input sets "
+            "are simulator addresses)"
+            if not args.targets_file
+            else None,
+            "--backend raw runs unsharded (--shards 1)"
+            if args.shards != 1
+            else None,
+            "--backend raw does not support --strategy"
+            if args.strategy
+            else None,
+            "--backend raw does not support --checkpoint"
+            if args.checkpoint
+            else None,
+            "--backend raw does not support --pcap" if args.pcap else None,
+            "--backend raw does not support --stream-records"
+            if args.stream_records
+            else None,
+        ):
+            if problem is not None:
+                print(f"sra-scan: {problem}", file=sys.stderr)
+                return 2
+    elif args.targets_file:
+        print(
+            "sra-scan: --targets-file is only meaningful with --backend "
+            "raw (simulated backends scan generated input sets)",
+            file=sys.stderr,
+        )
+        return 2
     if args.shards < 0:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
     if args.progress_every < 0:
@@ -344,6 +409,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"sra-scan: {problem}", file=sys.stderr)
         return 2
 
+    if args.backend == "raw":
+        # No simulated world at all: raw scans probe the operator's own
+        # targets file, directly through an unsharded scanner.
+        return _raw_scan(args)
     config = tiny_config(args.seed) if args.world == "tiny" else WorldConfig(seed=args.seed)
     if args.world_artifact:
         world = _artifact_world(config, args.world_artifact)
@@ -364,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         hop_limit=args.hop_limit,
         seed=args.seed,
         progress_every=args.progress_every,
+        backend=args.backend,
     )
     if args.batch_size is not None:
         scan_config = dc_replace(scan_config, batch_size=args.batch_size)
@@ -477,6 +547,76 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _raw_scan(args) -> int:
+    """``--backend raw``: probe a targets file over a real raw socket.
+
+    Deliberately the narrowest path in this CLI: no world, no sharding,
+    no checkpoints — one scanner, one backend, the operator's own target
+    list.  Privilege failures surface as the same one-line exit-2 errors
+    the validation layer uses (the socket is the validator here).
+    """
+    from ..addr.ipv6 import AddressError
+
+    try:
+        lines = Path(args.targets_file).read_text().splitlines()
+    except OSError as error:
+        print(f"sra-scan: cannot read --targets-file: {error}", file=sys.stderr)
+        return 2
+    targets: list[int] = []
+    for line in lines:
+        text = line.split("#", 1)[0].strip()
+        if not text:
+            continue
+        try:
+            targets.append(parse_address(text))
+        except AddressError as error:
+            print(f"sra-scan: {error}", file=sys.stderr)
+            return 2
+    if not targets:
+        print("sra-scan: --targets-file has no targets", file=sys.stderr)
+        return 1
+
+    pps = args.pps or max(100.0, len(targets) / args.duration)
+    scan_config = ScanConfig(
+        pps=pps,
+        hop_limit=args.hop_limit,
+        seed=args.seed,
+        progress_every=args.progress_every,
+        backend="raw",
+        authorized=True,
+    )
+    if args.batch_size is not None:
+        scan_config = dc_replace(scan_config, batch_size=args.batch_size)
+    telemetry = (
+        ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None
+    )
+    backend = RawSocketBackend(authorized=True, pps=pps)
+    scanner = ZMapV6Scanner(backend, scan_config, telemetry=telemetry)
+    try:
+        result = scanner.scan(targets, name="raw", epoch=args.epoch)
+    except BackendPrivilegeError as error:
+        print(f"sra-scan: {error}", file=sys.stderr)
+        return 2
+    finally:
+        backend.close()
+    if telemetry is not None:
+        if args.telemetry_out:
+            telemetry.write_jsonl(args.telemetry_out)
+        if args.metrics_out:
+            telemetry.write_prometheus(args.metrics_out)
+    if args.output:
+        result.write_csv(args.output)
+    if args.jsonl:
+        result.write_jsonl(args.jsonl)
+    if args.summary or not (args.output or args.jsonl):
+        print(f"targets    : {len(targets)} (raw backend)")
+        print(f"probe rate : {pps:.0f} pps (ceiling)")
+        print(f"replies    : {result.received}")
+        print(f"router IPs : {len(result.sources())}")
+        print(f"unmatched  : {result.unmatched_replies}")
+    return 0
+
+
 def _strategy_scan(world, args) -> int:
     """``sra-scan --strategy``: the multi-epoch adaptive scan loop.
 
@@ -520,6 +660,7 @@ def _strategy_scan(world, args) -> int:
                 hop_limit=args.hop_limit,
                 seed=args.seed + index,
                 progress_every=args.progress_every,
+                backend=args.backend,
             )
             if args.batch_size is not None:
                 scan_config = dc_replace(

@@ -196,6 +196,10 @@ class ScanResult:
     engine_stats: "EngineStats | None" = None
     # Records emitted to an external RecordSink instead of `records`.
     records_streamed: int = 0
+    # Inbound replies the backend could not match to an outstanding probe
+    # (failed payload auth, unknown probe id).  Always 0 on the pure
+    # simulator; the wire backends make this loss visible.
+    unmatched_replies: int = 0
 
     # ---------------- aggregate counters ---------------- #
 
@@ -302,6 +306,7 @@ def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
         merged.lost += result.lost
         merged.loops_observed += result.loops_observed
         merged.records_streamed += result.records_streamed
+        merged.unmatched_replies += result.unmatched_replies
         merged.duration = max(merged.duration, result.duration)
         merged.records.extend(result.records)
         if result.engine_stats is not None:

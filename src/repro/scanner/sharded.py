@@ -54,6 +54,7 @@ from ..telemetry.scan import (
 )
 from ..topology.artifact import WorldRef, resolve_world_ref, world_payload
 from ..topology.entities import World
+from .backends import backend_class
 from .checkpoint import (
     ScanCheckpoint,
     config_key,
@@ -202,6 +203,10 @@ def scan_shard(
         # per-probe target access the plan names.
         chaos.delay_shard(shard)
         targets = chaos.wrap_targets(targets, shard, attempt)
+    # The scanner rebuilds the probe backend from config.backend_spec()
+    # around this deferred engine — the config crossing the pickle
+    # boundary *is* the backend transport, exactly like StreamSpec for
+    # targets and WorldRef for worlds; no live backend is ever pickled.
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
     scanner = ZMapV6Scanner(
         engine,
@@ -219,8 +224,8 @@ def scan_shard(
     return ShardOutcome(
         shard=shard,
         result=result,
-        stats=replace(engine.stats),
-        checks=list(engine.pending_checks),
+        stats=replace(scanner.backend.stats),
+        checks=list(scanner.backend.pending_checks),
         telemetry=capture,
         shards=shards,
     )
@@ -236,6 +241,7 @@ def merge_shard_outcomes(
     targets_buffered: int = 0,
     sink: RecordSink | None = None,
     ring_stats: RingStats | None = None,
+    backend: str = "sim",
 ) -> ScanResult:
     """Merge deferred-mode shards into the exact serial result.
 
@@ -332,6 +338,7 @@ def merge_shard_outcomes(
             dropped_records=dropped_records,
             first_suppressed=dict(collector.first_suppressed),
             targets_buffered=targets_buffered,
+            backend=backend,
         )
     return merged
 
@@ -388,6 +395,7 @@ def _merge_telemetry(
     dropped_records: list,
     first_suppressed: dict[int, float],
     targets_buffered: int = 0,
+    backend: str = "sim",
 ) -> None:
     """Fold per-shard captures into the facade, shard-count invariantly.
 
@@ -435,6 +443,12 @@ def _merge_telemetry(
     telemetry.merge_registry(registry)
     telemetry.scan_finished(
         scan=name, epoch=epoch, result=merged, targets_buffered=targets_buffered
+    )
+    telemetry.unmatched_replies_recorded(
+        scan=name,
+        epoch=epoch,
+        backend=backend,
+        count=merged.unmatched_replies,
     )
 
 
@@ -662,6 +676,15 @@ class ShardedScanRunner:
         mode (see the class docstring).
         """
         config = config or ScanConfig()
+        spec = config.backend_spec()
+        if not backend_class(spec.name, module=spec.module).deterministic:
+            # The whole runner contract — deferred replay, checkpoints,
+            # byte-identical merges — presumes reproducible probes.
+            raise ValueError(
+                f"backend {config.backend!r} is not deterministic; the "
+                "sharded runner cannot merge or resume it (drive a "
+                "ZMapV6Scanner directly instead)"
+            )
         effective = telemetry if telemetry is not None else self.telemetry
         chaos = chaos if chaos is not None else self.chaos
         target_list = (
@@ -708,6 +731,9 @@ class ShardedScanRunner:
                 shards=self.shards,
                 pps=config.pps,
             )
+            effective.backend_selected(
+                scan=name, epoch=epoch, backend=config.backend
+            )
         outcomes = self._run_shards(
             target_list,
             config,
@@ -724,6 +750,7 @@ class ShardedScanRunner:
             targets_buffered=stream_buffered(target_list),
             sink=sink,
             ring_stats=self.ring_stats,
+            backend=config.backend,
         )
 
     # ---------------- execution strategies ---------------- #
@@ -913,6 +940,9 @@ class ShardedScanRunner:
                 shards=shards,
                 pps=config.pps,
             )
+            telemetry.backend_selected(
+                scan=name, epoch=epoch, backend=config.backend
+            )
 
         def flush() -> None:
             if checkpoint_path is None:
@@ -1012,6 +1042,7 @@ class ShardedScanRunner:
             targets_buffered=stream_buffered(target_list),
             sink=sink,
             ring_stats=self.ring_stats,
+            backend=config.backend,
         )
         if checkpoint_path is not None:
             # The scan is whole; a leftover journal would make the next

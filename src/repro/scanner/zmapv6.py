@@ -1,4 +1,4 @@
-"""A ZMapv6-style stateless scanner over the simulation engine.
+"""A ZMapv6-style stateless scanner over a pluggable probe backend.
 
 Reproduces the operational properties of the paper's modified ZMapv6:
 
@@ -12,9 +12,13 @@ Reproduces the operational properties of the paper's modified ZMapv6:
 * **sharded**: the permutation can be split across shards, as zmap does
   for multi-machine scans.
 
-With ``wire_format=True`` every probe and reply is round-tripped through
-the byte-accurate packet codecs — slower, but it proves the matching
-actually works on the wire format; large campaigns keep it off.
+The scanner itself never touches a wire or an engine directly — it
+drives a :class:`~repro.scanner.backends.base.ProbeBackend` (``sim``,
+``wire-sim``, or the opt-in ``raw``; see :mod:`repro.scanner.backends`),
+chosen by ``ScanConfig.backend``.  Everything above the backend seam —
+permutation, pacing, sharding, record building, telemetry — is backend
+agnostic, and the ``sim`` path is byte-identical to the pre-seam scanner
+(pinned by the determinism suite and the benchmark seam gate).
 """
 
 from __future__ import annotations
@@ -31,14 +35,6 @@ from ..netsim.engine import (
     ProbeResult,
     SimulationEngine,
 )
-from ..packet.icmpv6 import (
-    ICMPv6Message,
-    ICMPv6Type,
-    echo_reply_for,
-    error_message,
-)
-from ..packet.ipv6hdr import HEADER_LENGTH, IPv6Header
-from ..packet.probe import build_probe_packet, extract_probe
 from ..telemetry.events import make_event
 from ..telemetry.scan import (
     HotPathCollector,
@@ -48,6 +44,7 @@ from ..telemetry.scan import (
     populate_registry,
     record_metrics,
 )
+from .backends import BackendSpec, ProbeBackend, build_backend, make_backend_spec
 from .records import ScanRecord, ScanResult
 from .stream import IndexWindow, RecordSink, shard_positions, stream_buffered
 
@@ -59,6 +56,9 @@ class ScanConfig:
     pps: float = 50_000.0
     hop_limit: int = 64
     seed: int = 1
+    # Deprecated alias for ``backend="wire-sim"``; kept so existing
+    # configs and journals keep meaning the same scan.  Setting it maps
+    # the default backend to "wire-sim" in __post_init__.
     wire_format: bool = False
     shard: int = 0
     shards: int = 1
@@ -75,6 +75,13 @@ class ScanConfig:
     # so the event stream is identical for every batch_size; it only
     # takes effect when a scan runs with telemetry capture enabled.
     progress_every: int = 0
+    # Which probe backend executes the scan: "sim" (default), "wire-sim"
+    # (byte-accurate wire round trip over the simulator), or "raw"
+    # (raw-socket ICMPv6; never default, requires authorized=True).
+    backend: str = "sim"
+    # Explicit authorization for backends that probe real networks
+    # (--i-am-authorized); ignored by the simulated backends.
+    authorized: bool = False
 
     def __post_init__(self) -> None:
         if self.pps <= 0:
@@ -89,10 +96,40 @@ class ScanConfig:
             raise ValueError("batch_size must be >= 1")
         if self.progress_every < 0:
             raise ValueError("progress_every must be >= 0")
+        if self.wire_format:
+            if self.backend == "sim":
+                # The deprecated flag selects the backend it used to be.
+                object.__setattr__(self, "backend", "wire-sim")
+            elif self.backend != "wire-sim":
+                raise ValueError(
+                    "wire_format is a deprecated alias for "
+                    f"backend='wire-sim'; it conflicts with backend="
+                    f"{self.backend!r}"
+                )
+
+    def backend_spec(self) -> BackendSpec:
+        """The picklable recipe for this config's backend.
+
+        This — not a live backend — is what crosses pickle boundaries:
+        sharded pool workers and checkpoint journals carry the spec and
+        rebuild the backend locally, the same protocol ``StreamSpec``
+        and ``WorldRef`` use.
+        """
+        if self.backend == "wire-sim":
+            return make_backend_spec("wire-sim", key=self.key)
+        if self.backend == "raw":
+            return make_backend_spec(
+                "raw", key=self.key, authorized=self.authorized, pps=self.pps
+            )
+        return make_backend_spec(self.backend)
 
 
 class ZMapV6Scanner:
-    """Drives the engine like zmap drives a NIC.
+    """Drives a probe backend like zmap drives a NIC.
+
+    ``engine`` may be a :class:`SimulationEngine` (wrapped in the backend
+    ``config.backend`` names — the compatible default) or any
+    :class:`~repro.scanner.backends.base.ProbeBackend` directly.
 
     Telemetry comes in two modes, both off by default and costing nothing
     on the hot path when off:
@@ -108,14 +145,26 @@ class ZMapV6Scanner:
 
     def __init__(
         self,
-        engine: SimulationEngine,
+        engine: SimulationEngine | ProbeBackend,
         config: ScanConfig | None = None,
         *,
         telemetry: ScanTelemetry | None = None,
         capture_telemetry: bool = False,
     ) -> None:
-        self.engine = engine
         self.config = config or ScanConfig()
+        if isinstance(engine, ProbeBackend):
+            self.backend = engine
+        else:
+            # Rebuild-from-spec is the same code path pool workers run,
+            # so a locally-built scanner and a worker-built one agree.
+            self.backend = build_backend(
+                self.config.backend_spec(),
+                world=engine.world,
+                engine=engine,
+            )
+        # Back-compat alias: simulated backends expose the engine they
+        # wrap; wire backends have none.
+        self.engine = getattr(self.backend, "engine", None)
         self.telemetry = telemetry
         self.capture_telemetry = capture_telemetry or telemetry is not None
         self.last_capture: ShardTelemetry | None = None
@@ -142,8 +191,10 @@ class ZMapV6Scanner:
         byte-identical to the buffered path.
         """
         config = self.config
+        backend = self.backend
+        backend.open()
         if epoch is not None:
-            self.engine.new_epoch(epoch)
+            backend.new_epoch(epoch)
         # Duck-typed: anything indexable with a length scans in place
         # (materialising here would defeat O(1)-memory target streams).
         if isinstance(targets, Sequence) or (
@@ -152,7 +203,8 @@ class ZMapV6Scanner:
             target_list = targets
         else:
             target_list = list(targets)
-        result = ScanResult(name=name, epoch=self.engine.epoch)
+        result = ScanResult(name=name, epoch=backend.epoch)
+        unmatched_before = backend.unmatched_replies
         capture: ShardTelemetry | None = None
         collector: HotPathCollector | None = None
         if self.capture_telemetry:
@@ -166,23 +218,29 @@ class ZMapV6Scanner:
                     shards=config.shards,
                     pps=config.pps,
                 )
+                self.telemetry.backend_selected(
+                    scan=name, epoch=result.epoch, backend=backend.name
+                )
         self._capture = capture
         self._emit = self._record_emitter(result, sink, capture)
         if collector is not None:
-            self.engine.telemetry = collector
+            backend.telemetry = collector
         try:
-            if config.wire_format or config.batch_size == 1:
+            if config.batch_size == 1:
                 sent, last_position = self._scan_single(target_list, result)
-            else:
+            elif backend.supports_columns:
                 sent, last_position = self._scan_batched(target_list, result)
+            else:
+                sent, last_position = self._scan_batches(target_list, result)
         finally:
             if collector is not None:
-                self.engine.telemetry = None
+                backend.telemetry = None
             self._capture = None
             self._emit = None
         result.sent = sent
         result.duration = (last_position + 1) / config.pps if sent else 0.0
-        result.engine_stats = replace(self.engine.stats)
+        result.engine_stats = replace(backend.stats)
+        result.unmatched_replies = backend.unmatched_replies - unmatched_before
         if capture is not None and collector is not None:
             capture.first_loop = dict(collector.first_loop)
             capture.first_suppressed = dict(collector.first_suppressed)
@@ -211,6 +269,12 @@ class ZMapV6Scanner:
                     epoch=result.epoch,
                     result=result,
                     targets_buffered=stream_buffered(target_list),
+                )
+                self.telemetry.unmatched_replies_recorded(
+                    scan=name,
+                    epoch=result.epoch,
+                    backend=backend.name,
+                    count=result.unmatched_replies,
                 )
         return result
 
@@ -248,11 +312,15 @@ class ZMapV6Scanner:
     def _scan_single(
         self, target_list: Sequence[int], result: ScanResult
     ) -> tuple[int, int]:
-        """Per-probe scan loop: wire-format mode and ``batch_size=1``."""
+        """Per-probe scan loop: column-less backends and ``batch_size=1``."""
         config = self.config
+        backend = self.backend
+        probe = backend.probe
         capture = self._capture
         emit = self._emit
         every = config.progress_every if capture is not None else 0
+        epoch_bits = backend.epoch << 32
+        hop_limit = config.hop_limit
         sent = 0
         last_position = -1
         for position, index in self._probe_positions(len(target_list)):
@@ -263,8 +331,8 @@ class ZMapV6Scanner:
             # wall-clock time — and a sharded run becomes time-identical to
             # the serial run of the same seed/epoch.
             time = position / config.pps
-            probe_id = (self.engine.epoch << 32) | index
-            outcome = self._send_probe(target, time, probe_id)
+            probe_id = epoch_bits | index
+            outcome = probe(target, time, hop_limit=hop_limit, probe_id=probe_id)
             sent += 1
             last_position = position
             if outcome.looped:
@@ -299,10 +367,82 @@ class ZMapV6Scanner:
                 )
         return sent, last_position
 
+    def _scan_batches(
+        self, target_list: Sequence[int], result: ScanResult
+    ) -> tuple[int, int]:
+        """Chunked scan loop over ``send_batch`` for column-less backends.
+
+        The probe sequence, record order, and telemetry events are
+        byte-identical to :meth:`_scan_single` — outcomes are processed
+        probe by probe in chunk order — but sends reach the backend in
+        ``batch_size`` groups, which is what lets the raw backend pace a
+        whole batch and pay its receive linger once per batch instead of
+        once per probe.
+        """
+        config = self.config
+        backend = self.backend
+        send_batch = backend.send_batch
+        capture = self._capture
+        emit = self._emit
+        every = config.progress_every if capture is not None else 0
+        epoch_bits = backend.epoch << 32
+        hop_limit = config.hop_limit
+        pps = config.pps
+        sent = 0
+        last_position = -1
+        positions = self._probe_positions(len(target_list))
+        while True:
+            chunk = list(islice(positions, config.batch_size))
+            if not chunk:
+                break
+            batch_targets = [target_list[index] for _, index in chunk]
+            batch_times = [position / pps for position, _ in chunk]
+            batch_ids = [epoch_bits | index for _, index in chunk]
+            outcomes = send_batch(
+                batch_targets,
+                batch_times,
+                hop_limit=hop_limit,
+                probe_ids=batch_ids,
+            )
+            last_position = chunk[-1][0]
+            for offset, outcome in enumerate(outcomes):
+                sent += 1
+                if outcome.looped:
+                    result.loops_observed += 1
+                if outcome.lost:
+                    result.lost += 1
+                else:
+                    for reply in outcome.replies:
+                        emit(
+                            ScanRecord(
+                                target=batch_targets[offset],
+                                source=reply.source,
+                                icmp_type=int(reply.icmp_type),
+                                code=reply.code,
+                                count=reply.count,
+                                time=batch_times[offset],
+                            )
+                        )
+                if every and sent % every == 0:
+                    capture.events.append(
+                        make_event(
+                            "progress",
+                            scan=result.name,
+                            epoch=result.epoch,
+                            vtime=batch_times[offset],
+                            shard=config.shard,
+                            sent=sent,
+                            records=result.received,
+                            lost=result.lost,
+                            loops=result.loops_observed,
+                        )
+                    )
+        return sent, last_position
+
     def _scan_batched(
         self, target_list: Sequence[int], result: ScanResult
     ) -> tuple[int, int]:
-        """Chunked scan loop over :meth:`SimulationEngine.probe_columns`.
+        """Chunked scan loop over the backend's columnar kernel.
 
         Same probe order, times, and ids as :meth:`_scan_single` — the
         chunking is invisible in the results (the determinism regression
@@ -311,10 +451,11 @@ class ZMapV6Scanner:
         packed columns, so the per-probe dataclasses never exist here.
         """
         config = self.config
+        backend = self.backend
         pps = config.pps
         hop_limit = config.hop_limit
-        epoch_bits = self.engine.epoch << 32
-        probe_columns = self.engine.probe_columns
+        epoch_bits = backend.epoch << 32
+        probe_columns = backend.probe_columns
         append_record = self._emit
         capture = self._capture
         every = config.progress_every if capture is not None else 0
@@ -326,9 +467,7 @@ class ZMapV6Scanner:
         flag_looped = FLAG_LOOPED
         flag_reply = FLAG_REPLY
         cols = ProbeColumns()
-        # probe_ids exist only to decorrelate the loss draw; with loss off
-        # the engine never reads them, so skip building the column.
-        need_ids = self.engine.world.packet_loss > 0.0
+        need_ids = backend.needs_probe_ids
         positions = self._probe_positions(len(target_list))
         while True:
             chunk = list(islice(positions, config.batch_size))
@@ -444,68 +583,13 @@ class ZMapV6Scanner:
         return shard_positions(
             size,
             seed=config.seed,
-            epoch=self.engine.epoch,
+            epoch=self.backend.epoch,
             window=IndexWindow(config.shard, config.shards),
             permute=config.permute,
         )
 
     def _send_probe(self, target: int, time: float, probe_id: int) -> ProbeResult:
-        config = self.config
-        if not config.wire_format:
-            return self.engine.probe(
-                target, time, hop_limit=config.hop_limit, probe_id=probe_id
-            )
-        return self._send_probe_wire(target, time, probe_id)
-
-    def _send_probe_wire(self, target: int, time: float, probe_id: int) -> ProbeResult:
-        """Full wire-format round trip: encode the probe, decode it, probe
-        the engine, synthesise reply bytes, and re-match via the payload."""
-        config = self.config
-        vantage = self.engine.world.vantage
-        assert vantage is not None
-        wire = build_probe_packet(
-            src=vantage.address,
-            target=target,
-            probe_id=probe_id,
-            key=config.key,
-            hop_limit=config.hop_limit,
-            identifier=probe_id & 0xFFFF,
-            sequence=(probe_id >> 16) & 0xFFFF,
-        )
-        header = IPv6Header.decode(wire)
-        request = ICMPv6Message.decode(
-            wire[HEADER_LENGTH:], src=header.src, dst=header.dst
-        )
-        outcome = self.engine.probe(
-            header.dst, time, hop_limit=header.hop_limit, probe_id=probe_id
-        )
-        matched = []
-        for reply in outcome.replies:
-            if reply.icmp_type is ICMPv6Type.ECHO_REPLY:
-                message = echo_reply_for(request)
-            else:
-                message = error_message(reply.icmp_type, reply.code, wire)
-            # Receive path: decode bytes, then recover the probed target.
-            raw = message.encode(reply.source, vantage.address)
-            decoded = ICMPv6Message.decode(
-                raw, src=reply.source, dst=vantage.address
-            )
-            extraction = extract_probe(decoded, config.key)
-            if extraction is None:
-                continue  # unmatched traffic; zmap drops it
-            payload, original_target = extraction
-            if payload.probe_id != probe_id or original_target != target:
-                continue
-            matched.append(reply)
-        if len(matched) == len(outcome.replies):
-            return outcome
-        return ProbeResult(
-            target=outcome.target,
-            time=outcome.time,
-            epoch=outcome.epoch,
-            replies=tuple(matched),
-            lost=outcome.lost,
-            looped=outcome.looped,
-            amplification=outcome.amplification,
-            transit_hops=outcome.transit_hops,
+        """Back-compat shim for callers that drove one probe at a time."""
+        return self.backend.probe(
+            target, time, hop_limit=self.config.hop_limit, probe_id=probe_id
         )

@@ -38,6 +38,9 @@ resumed scan and an uninterrupted one:
   ``remaining``
 * ``shard_retried``     — ``shard``, ``attempt``, ``error``
 * ``scan_resumed``      — ``completed``, ``remaining``
+* ``backend_selected``  — ``backend`` (omitted for the default ``sim``)
+* ``unmatched_replies`` — ``backend``, ``count`` (replies that failed
+  probe matching; omitted when zero)
 
 Serialisation is deterministic by construction: keys sort, separators are
 fixed, and every value is derived from the virtual clock and seeded
@@ -68,6 +71,8 @@ EVENT_TYPES = (
     "shard_retried",
     "scan_resumed",
     "ring_stats",
+    "backend_selected",
+    "unmatched_replies",
 )
 
 __all__ = [

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # telemetry stays import-light; scans are duck-typed
 
 __all__ = [
     "AMPLIFICATION_EDGES",
+    "BACKEND_SCANS_TOTAL",
     "CHECKPOINTS_TOTAL",
     "ENGINE_STAT_COUNTERS",
     "RECORDS_BUFFERED_GAUGE",
@@ -51,6 +52,7 @@ __all__ = [
     "SHARDS_SALVAGED_TOTAL",
     "SHARD_RETRIES_TOTAL",
     "TARGETS_BUFFERED_GAUGE",
+    "UNMATCHED_REPLIES_TOTAL",
     "HotPathCollector",
     "ScanTelemetry",
     "ShardTelemetry",
@@ -130,6 +132,11 @@ CHECKPOINTS_TOTAL = "sra_scan_checkpoints_total"
 SHARD_RETRIES_TOTAL = "sra_scan_shard_retries_total"
 RESUMES_TOTAL = "sra_scan_resumes_total"
 SHARDS_SALVAGED_TOTAL = "sra_scan_shards_salvaged_total"
+# Probe-backend accounting (ops-channel too: *which executor* probed and
+# what inbound traffic failed to match are execution properties — the
+# deterministic outcome of a sim/wire-sim scan is identical either way).
+BACKEND_SCANS_TOTAL = "sra_scan_backend_scans_total"
+UNMATCHED_REPLIES_TOTAL = "sra_scan_unmatched_replies_total"
 # Shared-memory shard-transport counters (also ops-channel: they describe
 # how this process moved bytes, not what the scan found).  Names mirror
 # RingStats fields: sra_scan_ring_<field>_total.
@@ -611,6 +618,61 @@ class ScanTelemetry:
             SHARDS_SALVAGED_TOTAL,
             "completed shards salvaged from checkpoints instead of re-run",
         ).inc(completed)
+
+    def backend_selected(
+        self, *, scan: str, epoch: int, backend: str
+    ) -> None:
+        """Record which probe backend executed a scan.
+
+        Ops-channel, and skipped entirely for the default ``sim``
+        backend: a simulated scan's ops export stays byte-identical to
+        what it was before the backend seam existed, and — just as
+        important — ``sim`` and ``wire-sim`` runs of the same scan keep
+        byte-identical *main* channels (backend identity never leaks
+        there).
+        """
+        if backend == "sim":
+            return
+        self.emit_ops(
+            make_event(
+                "backend_selected",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                backend=backend,
+            )
+        )
+        self.ops_registry.counter(
+            BACKEND_SCANS_TOTAL, "scans executed by a non-default backend"
+        ).inc()
+
+    def unmatched_replies_recorded(
+        self, *, scan: str, epoch: int, backend: str, count: int
+    ) -> None:
+        """Count inbound replies the backend could not match to a probe.
+
+        These were silently dropped before (an invisible loss mode); now
+        every wire backend surfaces them.  Zero counts are skipped — the
+        ``ring_stats_updated`` idiom — so scans with nothing unmatched
+        (every ``sim`` scan, and every healthy ``wire-sim`` scan) leave
+        the ops export untouched.
+        """
+        if count <= 0:
+            return
+        self.emit_ops(
+            make_event(
+                "unmatched_replies",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                backend=backend,
+                count=count,
+            )
+        )
+        self.ops_registry.counter(
+            UNMATCHED_REPLIES_TOTAL,
+            "inbound replies that failed probe matching (auth or id)",
+        ).inc(count)
 
     def ring_stats_updated(
         self, *, scan: str, epoch: int, stats: dict[str, int]

@@ -1,0 +1,216 @@
+"""The reusable ProbeBackend contract suite.
+
+Any probe backend — the stock ``sim``/``wire-sim``/``raw`` or an
+extension — must honour one contract so the scanner, the sharded runner,
+and the checkpoint journals can treat them interchangeably:
+
+* it is registered (``backend_names()``) and declares its capability
+  flags (``supports_columns``, ``deterministic``, ``requires_privilege``),
+* its :class:`BackendSpec` round-trips: picklable, rebuildable via
+  ``build_backend`` into an equivalent backend (what sharded pool
+  workers do — no live backend ever crosses the pickle boundary),
+* ``send_batch`` returns one outcome per probe, aligned with the
+  requested targets/times/ids, and counts probes into ``stats``,
+* every *deterministic* backend produces records, main-channel
+  telemetry, and Prometheus output **byte-identical** to the ``sim``
+  baseline, at 1, 4 and 8 shards (the property that makes the backend a
+  pure execution dial, like batch size and shard count),
+* privileged backends (``raw``) enrol for spec/validation only: they
+  must be constructible and spec-checkable without ever opening a
+  socket, and must refuse construction without explicit authorization.
+
+Import the suite and parametrise it with :class:`BackendCase` rows::
+
+    from backend_contract import BackendCase, BackendContract, default_cases
+
+    @pytest.fixture(params=default_cases(), ids=lambda c: c.id)
+    def backend_case(request):
+        return request.param
+
+    class TestContract(BackendContract):
+        pass
+
+``default_cases()`` enrols every registered backend automatically, so a
+newly registered backend joins the suite for free.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.scanner.backends import (
+    BackendAuthorizationError,
+    ProbeBackend,
+    backend_class,
+    backend_names,
+    build_backend,
+    make_backend_spec,
+)
+from repro.scanner.records import record_jsonl_line
+from repro.scanner.sharded import ShardedScanRunner
+from repro.scanner.zmapv6 import ScanConfig
+from repro.telemetry.scan import ScanTelemetry
+
+# Epoch band for contract scans, clear of the campaigns', the race's,
+# and the strategy contract's (5000s).
+CASE_EPOCH = 7000
+CASE_SEED = 5
+
+
+@dataclass(frozen=True)
+class BackendCase:
+    """One parametrisation of the contract suite."""
+
+    id: str
+    name: str  # registered backend name
+    # Privileged backends enrol for registration/spec/validation only:
+    # probing them would touch real networks or need capabilities.
+    probes: bool = True
+
+
+def default_cases() -> list[BackendCase]:
+    """Every registered backend; privileged ones spec/validation-only."""
+    return [
+        BackendCase(
+            id=f"backend-{name}",
+            name=name,
+            probes=not backend_class(name).requires_privilege,
+        )
+        for name in backend_names()
+    ]
+
+
+def _build(case: BackendCase, world) -> ProbeBackend:
+    """A fresh backend for a case, the way ScanConfig/workers build one."""
+    if backend_class(case.name).requires_privilege:
+        # Authorized construction, but never open(): the contract for
+        # privileged backends is validation without sockets.
+        spec = make_backend_spec(case.name, authorized=True)
+    else:
+        spec = ScanConfig(backend=case.name).backend_spec()
+    return build_backend(spec, world=world, epoch=CASE_EPOCH)
+
+
+def _world_targets(world, count: int = 64) -> list[int]:
+    # bgp-plain probes prefix base addresses — the subnet-router anycast
+    # targets that actually reply in the tiny world, so the byte-identity
+    # checks below compare non-trivial record sets.
+    from repro.scanner.cli import build_targets
+
+    return list(
+        build_targets(world, "bgp-plain", max_targets=count, seed=CASE_SEED)
+    )
+
+
+def _scan_output(world, backend_name: str, shards: int):
+    """(records, main telemetry, Prometheus) of one sharded scan."""
+    targets = _world_targets(world, 96)
+    telemetry = ScanTelemetry()
+    runner = ShardedScanRunner(
+        world, shards=shards, executor="thread", telemetry=telemetry
+    )
+    result = runner.scan(
+        targets,
+        ScanConfig(
+            pps=10_000.0,
+            seed=CASE_SEED,
+            backend=backend_name,
+            progress_every=25,
+        ),
+        name="backend-contract",
+        epoch=CASE_EPOCH + 100,
+    )
+    records = "".join(record_jsonl_line(r) for r in result.records)
+    assert records, "vacuous comparison: the contract scan got no replies"
+    return records, telemetry.to_jsonl(), telemetry.to_prometheus()
+
+
+class BackendContract:
+    """The suite.  Subclass it next to a ``backend_case`` fixture."""
+
+    # -- registration + capabilities -- #
+
+    def test_registered_with_capability_flags(self, backend_case):
+        cls = backend_class(backend_case.name)
+        assert issubclass(cls, ProbeBackend)
+        assert cls.name == backend_case.name
+        for flag in ("supports_columns", "deterministic", "requires_privilege"):
+            assert isinstance(getattr(cls, flag), bool), flag
+        # A backend that probes real networks can never be deterministic.
+        if cls.requires_privilege:
+            assert not cls.deterministic
+
+    # -- spec round-trip -- #
+
+    def test_spec_round_trip(self, backend_case, tiny_world):
+        backend = _build(backend_case, tiny_world)
+        spec = backend.spec()
+        assert spec.name == backend_case.name
+        # The spec is what crosses the pickle boundary to pool workers.
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        rebuilt = build_backend(spec, world=tiny_world, epoch=CASE_EPOCH)
+        assert type(rebuilt) is type(backend)
+        assert rebuilt.spec() == spec
+        rebuilt.close()
+        backend.close()
+
+    def test_spec_arguments_are_plain_data(self, backend_case, tiny_world):
+        backend = _build(backend_case, tiny_world)
+        for key, value in backend.spec().arguments().items():
+            assert isinstance(key, str)
+            assert isinstance(value, (str, bytes, int, float, bool, type(None)))
+        backend.close()
+
+    # -- probing: outcome alignment -- #
+
+    def test_send_batch_aligns_outcomes(self, backend_case, tiny_world):
+        if not backend_case.probes:
+            pytest.skip("privileged backend: spec/validation only")
+        backend = _build(backend_case, tiny_world)
+        backend.open()
+        try:
+            backend.new_epoch(CASE_EPOCH)
+            targets = _world_targets(tiny_world, 16)
+            times = [index / 1000.0 for index in range(len(targets))]
+            ids = [(CASE_EPOCH << 32) | index for index in range(len(targets))]
+            outcomes = backend.send_batch(targets, times, probe_ids=ids)
+            assert len(outcomes) == len(targets)
+            for target, time, outcome in zip(targets, times, outcomes):
+                assert outcome.target == target
+                assert outcome.time == time
+                assert outcome.epoch == CASE_EPOCH
+            assert backend.stats.probes == len(targets)
+        finally:
+            backend.close()
+
+    # -- privileged backends validate without sockets -- #
+
+    def test_privileged_backend_requires_authorization(self, backend_case):
+        cls = backend_class(backend_case.name)
+        if not cls.requires_privilege:
+            pytest.skip("unprivileged backend")
+        with pytest.raises(BackendAuthorizationError):
+            build_backend(make_backend_spec(backend_case.name))
+
+    # -- deterministic backends are byte-identical to sim -- #
+
+    @pytest.mark.parametrize("shards", (1, 4, 8))
+    def test_byte_identical_to_sim_baseline(
+        self, backend_case, tiny_world, shards
+    ):
+        """Records, main-channel telemetry, and Prometheus output of any
+        deterministic backend equal the ``sim`` baseline's, bit for bit,
+        at every shard count — backend choice is an execution dial, not
+        an output dial."""
+        if not backend_case.probes:
+            pytest.skip("privileged backend: spec/validation only")
+        if not backend_class(backend_case.name).deterministic:
+            pytest.skip("non-deterministic backend")
+        baseline = _scan_output(tiny_world, "sim", shards)
+        got = _scan_output(tiny_world, backend_case.name, shards)
+        assert got[0] == baseline[0], "records diverged from sim"
+        assert got[1] == baseline[1], "telemetry events diverged from sim"
+        assert got[2] == baseline[2], "Prometheus output diverged from sim"

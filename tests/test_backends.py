@@ -1,0 +1,361 @@
+"""Unit tests for the probe-backend seam.
+
+The cross-backend contract lives in ``backend_contract.py``; this module
+covers the seam's specifics: the deprecated ``wire_format`` alias, the
+unmatched-reply accounting (the previously *silent* drop), checkpoint
+keys carrying the backend spec, the sharded runner refusing
+non-deterministic backends, the CLI validation one-liners, and — when
+the environment grants raw sockets — a live ``raw`` loopback scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.survey import SRASurvey, SurveyConfig
+from repro.netsim.engine import SimulationEngine
+from repro.scanner.backends import (
+    BackendAuthorizationError,
+    BackendPrivilegeError,
+    RawSocketBackend,
+    SimBackend,
+    WireSimBackend,
+    backend_class,
+    build_backend,
+    make_backend_spec,
+)
+from repro.scanner.checkpoint import config_key
+from repro.scanner.cli import main as scan_main
+from repro.scanner.records import record_jsonl_line
+from repro.scanner.sharded import ShardedScanRunner
+from repro.scanner.zmapv6 import ScanConfig, ZMapV6Scanner
+from repro.telemetry.scan import UNMATCHED_REPLIES_TOTAL, ScanTelemetry
+
+MINI_BUDGETS = dict(
+    seed=13,
+    slash48_per_prefix=4,
+    max_bgp_48=400,
+    slash64_per_prefix=4,
+    max_bgp_64=300,
+    route6_per_prefix=2,
+    max_route6=400,
+    max_hitlist=400,
+)
+
+
+class TestWireFormatAlias:
+    def test_wire_format_maps_to_wire_sim_backend(self):
+        config = ScanConfig(wire_format=True)
+        assert config.backend == "wire-sim"
+        assert config.backend_spec().name == "wire-sim"
+
+    def test_alias_is_idempotent_under_replace(self):
+        from dataclasses import replace
+
+        config = ScanConfig(wire_format=True)
+        again = replace(config, shard=0, shards=1)
+        assert again.backend == "wire-sim"
+
+    def test_alias_conflicts_with_other_backends(self):
+        with pytest.raises(ValueError, match="deprecated alias"):
+            ScanConfig(wire_format=True, backend="raw")
+
+    def test_explicit_wire_sim_accepts_redundant_flag(self):
+        assert ScanConfig(wire_format=True, backend="wire-sim").backend == (
+            "wire-sim"
+        )
+
+
+class TestMiniSurveyEquivalence:
+    """Table 2 mini-survey: wire-sim output == sim output, byte for byte."""
+
+    def _run(self, world, hitlist, alias_list, backend):
+        survey = SRASurvey(
+            world,
+            hitlist,
+            alias_list=alias_list,
+            config=SurveyConfig(**MINI_BUDGETS, backend=backend),
+        )
+        return survey.run()
+
+    def test_wire_sim_survey_matches_sim(
+        self, tiny_world, tiny_hitlist, tiny_alias_list
+    ):
+        sim = self._run(tiny_world, tiny_hitlist, tiny_alias_list, "sim")
+        wire = self._run(tiny_world, tiny_hitlist, tiny_alias_list, "wire-sim")
+        assert sim.input_sets.keys() == wire.input_sets.keys()
+        for name in sim.input_sets:
+            left = sim.input_sets[name].result
+            right = wire.input_sets[name].result
+            assert "".join(map(record_jsonl_line, left.records)) == "".join(
+                map(record_jsonl_line, right.records)
+            ), name
+            assert left.engine_stats == right.engine_stats, name
+            assert right.unmatched_replies == 0, name
+
+
+class TestUnmatchedReplyAccounting:
+    """The silent wire-reply drop is now counted end to end."""
+
+    def test_wire_sim_counts_failed_extraction(self, tiny_world, monkeypatch):
+        # Forge the receive path failing to authenticate any reply: every
+        # matched record disappears AND the loss becomes visible.
+        monkeypatch.setattr(
+            "repro.scanner.backends.wiresim.extract_probe",
+            lambda message, key: None,
+        )
+        config = ScanConfig(pps=5_000.0, seed=3, backend="wire-sim")
+        scanner = ZMapV6Scanner(SimulationEngine(tiny_world, epoch=0), config)
+        targets = list(range_targets(tiny_world, 64))
+        result = scanner.scan(targets, name="unmatched", epoch=9000)
+        assert result.received == 0
+        assert result.unmatched_replies > 0
+        assert (
+            scanner.backend.unmatched_replies == result.unmatched_replies
+        )
+
+    def test_unmatched_total_reaches_ops_channel(self, tiny_world, monkeypatch):
+        monkeypatch.setattr(
+            "repro.scanner.backends.wiresim.extract_probe",
+            lambda message, key: None,
+        )
+        telemetry = ScanTelemetry()
+        config = ScanConfig(pps=5_000.0, seed=3, backend="wire-sim")
+        scanner = ZMapV6Scanner(
+            SimulationEngine(tiny_world, epoch=0), config, telemetry=telemetry
+        )
+        result = scanner.scan(
+            range_targets(tiny_world, 64), name="unmatched", epoch=9001
+        )
+        assert result.unmatched_replies > 0
+        counter = telemetry.ops_registry.get(UNMATCHED_REPLIES_TOTAL)
+        assert counter is not None
+        assert counter.value == result.unmatched_replies
+        kinds = [event["event"] for event in telemetry.ops_events]
+        assert "unmatched_replies" in kinds
+        assert "backend_selected" in kinds
+
+    def test_healthy_scans_leave_ops_channel_untouched(self, tiny_world):
+        """The skip-zero idiom: a sim scan emits no backend ops events."""
+        telemetry = ScanTelemetry()
+        scanner = ZMapV6Scanner(
+            SimulationEngine(tiny_world, epoch=0),
+            ScanConfig(pps=5_000.0, seed=3),
+            telemetry=telemetry,
+        )
+        result = scanner.scan(
+            range_targets(tiny_world, 64), name="healthy", epoch=9002
+        )
+        assert result.unmatched_replies == 0
+        assert telemetry.ops_events == []
+        assert telemetry.ops_registry.get(UNMATCHED_REPLIES_TOTAL) is None
+
+
+class TestBackendSpecPlumbing:
+    def test_config_key_carries_backend_spec(self):
+        sim = config_key(ScanConfig())
+        wire = config_key(ScanConfig(backend="wire-sim"))
+        legacy = config_key(ScanConfig(wire_format=True))
+        assert sim != wire
+        assert wire == legacy  # the alias resumes wire-sim journals
+        other_key = config_key(ScanConfig(backend="wire-sim", key=b"k" * 32))
+        assert other_key != wire  # a different probe key is a mismatch
+
+    def test_engine_as_backend(self, tiny_world):
+        engine = SimulationEngine(tiny_world, epoch=4)
+        backend = engine.as_backend()
+        assert isinstance(backend, SimBackend)
+        assert backend.engine is engine
+        assert backend.epoch == 4
+
+    def test_scanner_accepts_backend_directly(self, tiny_world):
+        backend = SimBackend(SimulationEngine(tiny_world, epoch=0))
+        scanner = ZMapV6Scanner(backend, ScanConfig(pps=5_000.0, seed=3))
+        assert scanner.backend is backend
+        assert scanner.engine is backend.engine
+
+    def test_wire_sim_wraps_engine_from_config(self, tiny_world):
+        scanner = ZMapV6Scanner(
+            SimulationEngine(tiny_world, epoch=0),
+            ScanConfig(pps=5_000.0, seed=3, backend="wire-sim"),
+        )
+        assert isinstance(scanner.backend, WireSimBackend)
+        assert scanner.backend.key == scanner.config.key
+        assert scanner.engine is scanner.backend.engine
+
+    def test_sharded_runner_refuses_nondeterministic_backends(
+        self, tiny_world
+    ):
+        runner = ShardedScanRunner(tiny_world, shards=2, executor="serial")
+        with pytest.raises(ValueError, match="not deterministic"):
+            runner.scan(
+                range_targets(tiny_world, 8),
+                ScanConfig(pps=5_000.0, backend="raw", authorized=True),
+                name="refused",
+            )
+
+
+class TestRawBackendValidation:
+    """Everything here runs without privileges — and without sockets."""
+
+    def test_requires_explicit_authorization(self):
+        with pytest.raises(BackendAuthorizationError):
+            RawSocketBackend()
+        with pytest.raises(BackendAuthorizationError):
+            build_backend(make_backend_spec("raw"))
+
+    def test_spec_round_trip_without_sockets(self):
+        backend = RawSocketBackend(authorized=True, pps=500.0, linger=0.5)
+        spec = backend.spec()
+        rebuilt = build_backend(spec)
+        assert isinstance(rebuilt, RawSocketBackend)
+        assert rebuilt.pps == 500.0
+        assert rebuilt.linger == 0.5
+        assert rebuilt.spec() == spec
+
+    def test_capability_flags(self):
+        cls = backend_class("raw")
+        assert cls.requires_privilege
+        assert not cls.deterministic
+        assert not cls.supports_columns
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="pps"):
+            RawSocketBackend(authorized=True, pps=0.0)
+        with pytest.raises(ValueError, match="linger"):
+            RawSocketBackend(authorized=True, linger=-1.0)
+
+
+class TestCliValidation:
+    """One-line stderr + exit 2, the repo's CLI validation idiom."""
+
+    def _check(self, argv, capsys, fragment):
+        assert scan_main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("sra-scan: ")
+        assert fragment in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_unknown_backend(self, capsys):
+        self._check(["--backend", "nope"], capsys, "unknown backend")
+
+    def test_raw_without_authorization(self, capsys):
+        self._check(["--backend", "raw"], capsys, "--i-am-authorized")
+
+    def test_raw_without_targets_file(self, capsys):
+        self._check(
+            ["--backend", "raw", "--i-am-authorized"],
+            capsys,
+            "--targets-file",
+        )
+
+    def test_raw_refuses_shards(self, capsys, tmp_path):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("::1\n")
+        self._check(
+            [
+                "--backend",
+                "raw",
+                "--i-am-authorized",
+                "--targets-file",
+                str(targets),
+                "--shards",
+                "4",
+            ],
+            capsys,
+            "unsharded",
+        )
+
+    def test_targets_file_requires_raw(self, capsys, tmp_path):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("::1\n")
+        self._check(
+            ["--targets-file", str(targets)], capsys, "--backend raw"
+        )
+
+    def test_repro_rejects_raw(self, capsys):
+        from repro.experiments.runner import main as repro_main
+
+        assert repro_main(["--backend", "raw", "--list"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("sra-repro: ")
+        assert "simulator" in err
+
+    def test_repro_rejects_unknown_backend(self, capsys):
+        from repro.experiments.runner import main as repro_main
+
+        assert repro_main(["--backend", "nope", "--list"]) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+
+def _raw_socket_available() -> bool:
+    probe = RawSocketBackend(authorized=True, pps=1_000.0, linger=0.2)
+    try:
+        probe.open()
+    except BackendPrivilegeError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+class TestRawLoopback:
+    """Live raw-socket tests; skipped wherever CAP_NET_RAW is absent."""
+
+    @pytest.fixture(autouse=True)
+    def _require_raw_sockets(self):
+        if not _raw_socket_available():
+            pytest.skip("raw ICMPv6 sockets unavailable (no CAP_NET_RAW)")
+
+    def test_loopback_echo_matches_probe_ids(self):
+        backend = RawSocketBackend(authorized=True, pps=1_000.0, linger=0.3)
+        try:
+            backend.new_epoch(1)
+            loopback = 1  # ::1
+            outcomes = backend.send_batch(
+                [loopback, loopback],
+                [0.0, 0.001],
+                probe_ids=[(1 << 32) | 0, (1 << 32) | 1],
+            )
+            assert len(outcomes) == 2
+            for outcome in outcomes:
+                assert not outcome.lost
+                assert any(reply.is_echo for reply in outcome.replies)
+                assert all(
+                    reply.source == loopback for reply in outcome.replies
+                )
+            assert backend.stats.probes == 2
+            assert backend.stats.echo_replies >= 2
+        finally:
+            backend.close()
+
+    def test_cli_raw_loopback_scan(self, tmp_path, capsys):
+        targets = tmp_path / "targets.txt"
+        targets.write_text("::1\n# a comment\n")
+        jsonl = tmp_path / "records.jsonl"
+        code = scan_main(
+            [
+                "--backend",
+                "raw",
+                "--i-am-authorized",
+                "--targets-file",
+                str(targets),
+                "--pps",
+                "200",
+                "--jsonl",
+                str(jsonl),
+                "--summary",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "raw backend" in out
+        assert jsonl.exists()
+        assert '"source": "::1"' in jsonl.read_text()
+
+
+def range_targets(world, count: int):
+    """``count`` subnet-router anycast targets that actually reply."""
+    from repro.scanner.cli import build_targets
+
+    return build_targets(world, "bgp-plain", max_targets=count, seed=5)
