@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..hitlist.aliases import AliasedPrefixList
 from ..hitlist.hitlist import Hitlist
+from ..scanner.backends import RetryPolicy
 from ..scanner.pacing import paced_pps
 from ..scanner.records import ScanResult
 from ..scanner.sharded import ShardedScanRunner
@@ -106,6 +107,32 @@ class SurveyConfig:
     # an interrupted run auto-resumes and finishes byte-identically.
     max_shard_retries: int = 0
     checkpoint_dir: str | None = None
+    # Backend resilience: per-batch retry budget, per-batch watchdog
+    # deadline, and circuit-breaker open threshold.  All unset (the
+    # defaults) means no ResilientBackend wrapper at all — the scans run
+    # exactly as before this layer existed.
+    backend_retries: int = 0
+    backend_timeout: float | None = None
+    breaker_threshold: float | None = None
+
+    def resilience_policy(self) -> RetryPolicy | None:
+        """The survey-wide :class:`RetryPolicy`, or None when unconfigured.
+
+        Jitter is seeded from the survey seed so backoff delays are part
+        of the same reproducible universe as everything else.
+        """
+        if (
+            self.backend_retries == 0
+            and self.backend_timeout is None
+            and self.breaker_threshold is None
+        ):
+            return None
+        return RetryPolicy(
+            max_retries=self.backend_retries,
+            timeout=self.backend_timeout,
+            breaker_threshold=self.breaker_threshold,
+            seed=self.seed,
+        )
 
 
 # Config fields a worker needs to rebuild an input set from a spec.
@@ -356,6 +383,7 @@ class SRASurvey:
             batch_size=self.config.batch_size,
             progress_every=self.config.progress_every,
             backend=self.config.backend,
+            retry_policy=self.config.resilience_policy(),
         )
         raw = self.runner.scan(
             targets, scan_config, name=name, epoch=epoch, telemetry=self.telemetry

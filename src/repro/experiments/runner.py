@@ -148,6 +148,31 @@ def main(argv: list[str] | None = None) -> int:
         "bit-identical for any value)",
     )
     parser.add_argument(
+        "--backend-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failed backend batch up to N times before "
+        "quarantining it (default: no resilience wrapper)",
+    )
+    parser.add_argument(
+        "--backend-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch watchdog deadline; a hung backend batch is "
+        "recovered and retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="circuit-breaker open threshold as a batch failure rate in "
+        "(0, 1]; an open breaker quarantines batches without probing "
+        "until its cooldown expires (default: no breaker)",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         metavar="NAME",
@@ -187,6 +212,17 @@ def main(argv: list[str] | None = None) -> int:
         else None,
         "--batch-size must be >= 1"
         if args.batch_size is not None and args.batch_size < 1
+        else None,
+        "--backend-retries must be >= 0"
+        if args.backend_retries is not None and args.backend_retries < 0
+        else None,
+        "--backend-timeout must be positive"
+        if args.backend_timeout is not None
+        and not args.backend_timeout > 0  # NaN fails this comparison too
+        else None,
+        "--breaker-threshold must be in (0, 1]"
+        if args.breaker_threshold is not None
+        and not 0.0 < args.breaker_threshold <= 1.0  # rejects NaN as well
         else None,
     ):
         if problem is not None:
@@ -241,6 +277,9 @@ def main(argv: list[str] | None = None) -> int:
         pps=args.pps,
         batch_size=args.batch_size,
         backend=args.backend,
+        backend_retries=args.backend_retries,
+        backend_timeout=args.backend_timeout,
+        breaker_threshold=args.breaker_threshold,
     )
     telemetry = (
         ScanTelemetry() if (args.telemetry_out or args.metrics_out) else None

@@ -351,12 +351,7 @@ class ExperimentContext:
         return LoopAnalysis.from_scans(bgp48.result)
 
 
-_CONTEXTS: dict[
-    tuple[
-        str, int, int | None, str | None, float | None, int | None, str | None
-    ],
-    ExperimentContext,
-] = {}
+_CONTEXTS: dict[tuple, ExperimentContext] = {}
 
 
 def get_context(
@@ -368,6 +363,9 @@ def get_context(
     pps: float | None = None,
     batch_size: int | None = None,
     backend: str | None = None,
+    backend_retries: int | None = None,
+    backend_timeout: float | None = None,
+    breaker_threshold: float | None = None,
 ) -> ExperimentContext:
     """Process-level memoised context (scales: 'quick', 'full').
 
@@ -381,13 +379,41 @@ def get_context(
     before ever getting here).  ``backend`` selects the probe backend for
     every campaign scan — deterministic simulated backends only (the
     sharded runner refuses the rest), and ``sim``/``wire-sim`` produce
-    identical outputs.
+    identical outputs.  ``backend_retries``/``backend_timeout``/
+    ``breaker_threshold`` configure the resilience layer around every
+    campaign scan's backend (see
+    :class:`repro.scanner.backends.RetryPolicy`); with the deterministic
+    simulated backends and no fault injection the wrapper is an identity,
+    so outputs stay byte-identical.
     """
     if pps is not None and pps <= 0:
         raise ValueError(f"pps must be positive, got {pps}")
     if batch_size is not None and batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    key = (scale, seed, shards, checkpoint_dir, pps, batch_size, backend)
+    if backend_retries is not None and backend_retries < 0:
+        raise ValueError(
+            f"backend_retries must be >= 0, got {backend_retries}"
+        )
+    if backend_timeout is not None and not backend_timeout > 0:
+        raise ValueError(
+            f"backend_timeout must be positive, got {backend_timeout}"
+        )
+    if breaker_threshold is not None and not 0.0 < breaker_threshold <= 1.0:
+        raise ValueError(
+            f"breaker_threshold must be in (0, 1], got {breaker_threshold}"
+        )
+    key = (
+        scale,
+        seed,
+        shards,
+        checkpoint_dir,
+        pps,
+        batch_size,
+        backend,
+        backend_retries,
+        backend_timeout,
+        breaker_threshold,
+    )
     if key not in _CONTEXTS:
         try:
             factory = SCALES[scale]
@@ -407,6 +433,12 @@ def get_context(
             overrides["batch_size"] = batch_size
         if backend is not None:
             overrides["backend"] = backend
+        if backend_retries is not None:
+            overrides["backend_retries"] = backend_retries
+        if backend_timeout is not None:
+            overrides["backend_timeout"] = backend_timeout
+        if breaker_threshold is not None:
+            overrides["breaker_threshold"] = breaker_threshold
         if overrides:
             built = replace(
                 built,

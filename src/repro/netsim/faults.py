@@ -19,18 +19,27 @@ a polite exception.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from pathlib import Path
+
+from ..scanner.backends.base import BackendError, BackendSpec, ProbeBackend
 from .stochastic import stable_unit
+
+if TYPE_CHECKING:
+    from ..topology.entities import World
+    from .engine import EngineStats, ProbeResult
 
 __all__ = [
     "ChaosEngine",
     "CrashingSequence",
     "FailingSink",
     "FaultPlan",
+    "FaultyBackend",
+    "InjectedBackendError",
     "InjectedCrash",
     "InjectedSinkError",
     "truncate_tail",
@@ -43,6 +52,10 @@ HARD_CRASH_EXIT = 66
 
 class InjectedCrash(RuntimeError):
     """A deliberate, planned worker failure (soft crash)."""
+
+
+class InjectedBackendError(BackendError):
+    """A deliberate, planned ``send_batch`` failure (transport fault)."""
 
 
 class InjectedSinkError(OSError):
@@ -78,6 +91,39 @@ class FaultPlan:
     # Ask the runner to interrupt itself (as if SIGINT arrived) once this
     # many shards have completed and checkpointed.
     interrupt_after_shards: int | None = None
+
+    # ---- backend-level transport faults (FaultyBackend) ---- #
+    # Fated batches raise InjectedBackendError from send_batch.  Batch
+    # identity is the ordinal of the first sighting (stable across
+    # retries of the same batch; split sub-batches get fresh ordinals).
+    #
+    # Fail exactly this batch ordinal (on backend_error_shard if set,
+    # else on every shard).
+    backend_error_batch: int | None = None
+    # Fail the first N distinct batch ordinals (composable with the
+    # shard filter; used to exercise breaker open -> half-open -> close).
+    backend_error_batches: int | None = None
+    # Shard filter for the two triggers above — or, set alone (both
+    # batch triggers None, probability 0), fail *every* batch on this
+    # shard (a permanently-dead transport).
+    backend_error_shard: int | None = None
+    # Independently, each (shard, batch) is fated with this probability
+    # via stable_unit(seed, b"chaos-backend", shard, batch).
+    backend_error_probability: float = 0.0
+    # A fated batch fails its first N send attempts (retries then
+    # succeed); None makes the fault permanent (every attempt fails).
+    backend_error_attempts: int | None = 1
+    # Hang the first attempt of this batch ordinal: send_batch blocks
+    # (before touching the wrapped backend) until the chaos backend is
+    # closed, then raises — the shape of a wedged raw socket.
+    backend_hang_batch: int | None = None
+    # Return a truncated outcome list (one outcome short) from the first
+    # attempt of this batch ordinal — a seam-contract violation the
+    # resilience layer must catch and retry.
+    backend_short_batch: int | None = None
+    # Eat every echo reply in flight: probes are sent, replies never
+    # arrive (stats stay coherent — the eaten replies are uncounted).
+    backend_blackhole: bool = False
 
 
 class CrashingSequence:
@@ -144,6 +190,198 @@ class FailingSink:
         self.close()
 
 
+class FaultyBackend(ProbeBackend):
+    """A :class:`ProbeBackend` wrapper that injects transport faults.
+
+    Sits *under* the resilience layer (``ResilientBackend`` wraps it),
+    exactly where a flaky NIC or a wedged raw socket would be.  Every
+    injected fault fires *before* the wrapped backend is touched (or,
+    for blackholes/truncation, adjusts only the returned outcomes), so a
+    transactional retry above observes a clean rollback and reproduces
+    the fault-free byte stream — the property the chaos contract tests
+    pin for every registered backend.
+
+    Batch identity: the ordinal of first sighting, keyed on
+    ``(len, first target, last target)`` — retries of a batch keep their
+    ordinal, split sub-batches get fresh ones.
+    """
+
+    def __init__(
+        self, inner: ProbeBackend, plan: FaultPlan, shard: int = 0
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self.shard = shard
+        self._batches: dict[tuple[int, int, int], list[int]] = {}
+        self._next_ordinal = 0
+        self._hang_fired = False
+        self._release = threading.Event()
+        self.name = inner.name
+        # Faults only fire through send_batch, never the columnar kernel.
+        self.supports_columns = False
+        self.deterministic = inner.deterministic
+        self.requires_privilege = inner.requires_privilege
+
+    # ---------------- construction ---------------- #
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: BackendSpec,
+        *,
+        world: "World | None" = None,
+        engine=None,
+        epoch: int = 0,
+        defer_rate_limit: bool = False,
+    ) -> "ProbeBackend":
+        raise TypeError(
+            "FaultyBackend wraps a built backend (ChaosEngine.wrap_backend)"
+        )
+
+    def spec(self) -> BackendSpec:
+        return self.inner.spec()
+
+    # ---------------- lifecycle + delegation ---------------- #
+
+    def open(self) -> None:
+        self.inner.open()
+
+    def close(self) -> None:
+        # Release any hung send first so its (abandoned) watchdog thread
+        # raises and exits instead of blocking forever.
+        self._release.set()
+        self.inner.close()
+
+    @property
+    def epoch(self) -> int:
+        return self.inner.epoch
+
+    def new_epoch(self, epoch: int) -> None:
+        self.inner.new_epoch(epoch)
+
+    @property
+    def stats(self) -> "EngineStats":
+        return self.inner.stats
+
+    @property
+    def pending_checks(self) -> list[tuple[float, int]]:
+        return self.inner.pending_checks
+
+    @property
+    def needs_probe_ids(self) -> bool:
+        return self.inner.needs_probe_ids
+
+    @property
+    def engine(self):
+        return getattr(self.inner, "engine", None)
+
+    @property
+    def telemetry(self):
+        return self.inner.telemetry
+
+    @telemetry.setter
+    def telemetry(self, collector) -> None:
+        self.inner.telemetry = collector
+
+    @property
+    def unmatched_replies(self) -> int:
+        return self.inner.unmatched_replies
+
+    @unmatched_replies.setter
+    def unmatched_replies(self, value: int) -> None:
+        self.inner.unmatched_replies = value
+
+    def pop_warnings(self) -> list[str]:
+        return self.inner.pop_warnings()
+
+    # ---------------- fault logic ---------------- #
+
+    def _fated(self, ordinal: int) -> bool:
+        plan = self.plan
+        shard_matches = (
+            plan.backend_error_shard is None
+            or plan.backend_error_shard == self.shard
+        )
+        if plan.backend_error_batch is not None:
+            if shard_matches and ordinal == plan.backend_error_batch:
+                return True
+        if plan.backend_error_batches is not None:
+            if shard_matches and ordinal < plan.backend_error_batches:
+                return True
+        if (
+            plan.backend_error_batch is None
+            and plan.backend_error_batches is None
+            and plan.backend_error_shard == self.shard
+            and plan.backend_error_probability == 0.0
+        ):
+            return True  # dead-transport mode: every batch on the shard
+        if plan.backend_error_probability > 0.0:
+            draw = stable_unit(plan.seed, b"chaos-backend", self.shard, ordinal)
+            if draw < plan.backend_error_probability:
+                return True
+        return False
+
+    def send_batch(
+        self,
+        targets: Sequence[int],
+        times: Sequence[float],
+        *,
+        hop_limit: int = 64,
+        probe_ids: Sequence[int] | None = None,
+    ) -> "list[ProbeResult]":
+        plan = self.plan
+        key = (
+            len(targets),
+            targets[0] if targets else -1,
+            targets[-1] if targets else -1,
+        )
+        state = self._batches.get(key)
+        if state is None:
+            state = self._batches[key] = [self._next_ordinal, 0]
+            self._next_ordinal += 1
+        ordinal, attempt = state
+        state[1] += 1
+        if (
+            ordinal == plan.backend_hang_batch
+            and attempt == 0
+            and not self._hang_fired
+        ):
+            self._hang_fired = True
+            self._release.wait()
+            raise InjectedBackendError(
+                f"hung batch {ordinal} released at close"
+            )
+        if self._fated(ordinal) and (
+            plan.backend_error_attempts is None
+            or attempt < plan.backend_error_attempts
+        ):
+            raise InjectedBackendError(
+                f"injected backend error "
+                f"(shard {self.shard}, batch {ordinal}, attempt {attempt})"
+            )
+        outcomes = self.inner.send_batch(
+            targets, times, hop_limit=hop_limit, probe_ids=probe_ids
+        )
+        if (
+            ordinal == plan.backend_short_batch
+            and attempt == 0
+            and len(outcomes) > 1
+        ):
+            return outcomes[:-1]
+        if plan.backend_blackhole:
+            outcomes = [self._eat_replies(outcome) for outcome in outcomes]
+        return outcomes
+
+    def _eat_replies(self, outcome: "ProbeResult") -> "ProbeResult":
+        kept = tuple(r for r in outcome.replies if not r.is_echo)
+        eaten = len(outcome.replies) - len(kept)
+        if eaten:
+            # Keep the counters coherent with the surviving outcome set.
+            self.inner.stats.echo_replies -= eaten
+            outcome = replace(outcome, replies=kept)
+        return outcome
+
+
 def truncate_tail(path: str | Path, drop_bytes: int) -> None:
     """Chop ``drop_bytes`` off a file's tail — a torn write, simulated.
 
@@ -191,6 +429,26 @@ class ChaosEngine:
         if sink is not None and self.plan.sink_fail_after is not None:
             return FailingSink(sink, self.plan.sink_fail_after)
         return sink
+
+    def has_backend_faults(self) -> bool:
+        """Does the plan inject anything at the ProbeBackend seam?"""
+        plan = self.plan
+        return (
+            plan.backend_error_batch is not None
+            or plan.backend_error_batches is not None
+            or plan.backend_error_shard is not None
+            or plan.backend_error_probability > 0.0
+            or plan.backend_hang_batch is not None
+            or plan.backend_short_batch is not None
+            or plan.backend_blackhole
+        )
+
+    def wrap_backend(self, backend: ProbeBackend, shard: int) -> ProbeBackend:
+        """Interpose transport faults under a shard's backend (or pass
+        through when the plan injects nothing at this seam)."""
+        if self.has_backend_faults():
+            return FaultyBackend(backend, self.plan, shard)
+        return backend
 
     def delay_shard(self, shard: int) -> None:
         """Stall a slow shard's start-up per the plan."""

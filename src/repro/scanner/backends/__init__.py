@@ -19,6 +19,14 @@ from .base import (
     register_backend,
 )
 from .raw import RawSocketBackend
+from .resilient import (
+    BackendFault,
+    BackendTimeoutError,
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientBackend,
+    RetryPolicy,
+)
 from .sim import SimBackend
 from .wiresim import DEFAULT_PROBE_KEY, WireSimBackend
 
@@ -26,10 +34,16 @@ __all__ = [
     "DEFAULT_PROBE_KEY",
     "BackendAuthorizationError",
     "BackendError",
+    "BackendFault",
     "BackendPrivilegeError",
     "BackendSpec",
+    "BackendTimeoutError",
+    "CircuitBreaker",
     "ProbeBackend",
     "RawSocketBackend",
+    "ResilienceStats",
+    "ResilientBackend",
+    "RetryPolicy",
     "SimBackend",
     "WireSimBackend",
     "backend_class",

@@ -192,6 +192,13 @@ class ProbeBackend(ABC):
     # backends forward it to their engine; others may ignore it.
     telemetry = None
 
+    def pop_warnings(self) -> list[str]:
+        """Drain queued operational warnings (e.g. a receiver thread
+        that refused to join).  The scanner surfaces them on the ops
+        telemetry channel; wrapper backends delegate to the wrapped
+        backend.  Empty for backends with nothing to warn about."""
+        return []
+
     # ---------------- probing ---------------- #
 
     @abstractmethod

@@ -82,6 +82,7 @@ class RawSocketBackend(ProbeBackend):
         authorized: bool = False,
         pps: float = 1_000.0,
         linger: float = 1.0,
+        recv_timeout: float = 0.2,
     ) -> None:
         if not authorized:
             raise BackendAuthorizationError(
@@ -93,10 +94,17 @@ class RawSocketBackend(ProbeBackend):
             raise ValueError(f"pps ceiling must be positive, got {pps}")
         if linger < 0:
             raise ValueError(f"linger must be >= 0, got {linger}")
+        if recv_timeout <= 0:
+            raise ValueError(f"recv_timeout must be positive, got {recv_timeout}")
         self.key = key
         self.pps = pps
         self.linger = linger
+        # Socket receive timeout: the receiver thread's shutdown-check
+        # cadence.  A spec option (not a constant) so operators can trade
+        # shutdown latency against wakeup rate.
+        self.recv_timeout = recv_timeout
         self.unmatched_replies = 0
+        self._warnings: list[str] = []
         self._epoch = 0
         self._stats = EngineStats()
         self._sock: socket.socket | None = None
@@ -122,6 +130,7 @@ class RawSocketBackend(ProbeBackend):
             authorized=bool(options.get("authorized", False)),
             pps=float(options.get("pps", 1_000.0)),
             linger=float(options.get("linger", 1.0)),
+            recv_timeout=float(options.get("recv_timeout", 0.2)),
         )
         backend._epoch = epoch
         return backend
@@ -133,6 +142,7 @@ class RawSocketBackend(ProbeBackend):
             authorized=True,  # an instance only exists when authorized
             pps=self.pps,
             linger=self.linger,
+            recv_timeout=self.recv_timeout,
         )
 
     # ---------------- lifecycle ---------------- #
@@ -153,7 +163,7 @@ class RawSocketBackend(ProbeBackend):
             raise BackendPrivilegeError(
                 f"raw ICMPv6 socket unavailable: {error}"
             ) from error
-        sock.settimeout(0.2)
+        sock.settimeout(self.recv_timeout)
         self._sock = sock
         self._running = True
         self._receiver = threading.Thread(
@@ -169,8 +179,24 @@ class RawSocketBackend(ProbeBackend):
             finally:
                 self._sock = None
         if self._receiver is not None:
-            self._receiver.join(timeout=2.0)
+            # The receiver wakes at most every recv_timeout to check
+            # _running, so two cycles (plus reply-drain slack) is an
+            # honest join budget; derived from the spec options instead
+            # of a hardcoded constant.
+            join_timeout = self.linger + 2.0 * self.recv_timeout
+            self._receiver.join(timeout=join_timeout)
+            if self._receiver.is_alive():
+                # Don't leak a thread silently: queue an operational
+                # warning for the scanner/CLI to surface (ops channel).
+                self._warnings.append(
+                    "receiver thread failed to join within "
+                    f"{join_timeout:.1f}s; daemon thread leaked"
+                )
             self._receiver = None
+
+    def pop_warnings(self) -> list[str]:
+        warnings, self._warnings = self._warnings, []
+        return warnings
 
     # ---------------- epoch + observability ---------------- #
 

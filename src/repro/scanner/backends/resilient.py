@@ -1,0 +1,583 @@
+"""``ResilientBackend``: retry, timeout, breaker, and quarantine at the seam.
+
+PR 5 made the scanner crash-tolerant at the *shard process* level: a
+dead worker costs a whole-shard retry.  That is the wrong granularity
+for transient transport trouble — one failed ``send_batch`` out of
+thousands, a wedged raw socket, an RFC 4443 rate limiter eating a burst.
+This module adds resilience at the :class:`ProbeBackend` seam itself,
+where a fault costs at most one batch:
+
+* :class:`RetryPolicy` — a declarative, picklable knob bundle.  It rides
+  :class:`~repro.scanner.zmapv6.ScanConfig` across the pickle boundary
+  to pool workers and into the checkpoint config key, so resuming a
+  journal across a policy change fails loudly instead of silently
+  merging runs with different failure semantics.
+* :class:`CircuitBreaker` — the classic three-state machine (closed →
+  open → half-open) over a sliding window of *final* batch outcomes.
+  While open, batches fail fast into quarantine without touching the
+  backend; after a cooldown one trial batch decides re-close vs re-open.
+* :class:`ResilientBackend` — a wrapper that retries failed batches with
+  seeded exponential backoff (deterministic jitter via
+  :func:`~repro.netsim.stochastic.stable_unit`), recovers hung sends
+  with a watchdog deadline, and — when retries are exhausted — bisects
+  the batch to isolate poison probes, quarantining only those as
+  explicit :class:`BackendFault` outcomes.  Quarantined probes surface
+  as quiet rows (probed, no reply) plus ``ScanResult.faulted_probes``,
+  so a scan under permanent faults completes with an honest partial
+  result instead of dying.
+
+Every attempt is transactional: the wrapper snapshots the inner
+backend's ``stats``, ``pending_checks`` length, and ``unmatched_replies``
+before delegating and rolls all three back on failure, so a retried
+batch never double-counts probes or double-appends deferred rate-limit
+checks — the property that keeps retried runs byte-identical to
+fault-free ones (pinned by the backend contract suite).
+
+The wrapper is built *around* an existing backend (never from a spec,
+never registered): nesting a policy inside ``BackendSpec`` options would
+break the plain-data spec contract.  ``supports_columns`` is ``False``
+on the wrapper — resilient scans take the ``send_batch`` path, whose
+records/telemetry are byte-identical to the columnar path's (the hot
+path determinism suite pins that equivalence), trading kernel throughput
+for per-batch rollback only when a policy is actually configured.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ...netsim.engine import ProbeResult
+from ...netsim.stochastic import stable_unit
+from .base import BackendError, BackendSpec, ProbeBackend
+
+if TYPE_CHECKING:
+    from ...netsim.engine import EngineStats
+    from ...topology.entities import World
+
+
+class BackendTimeoutError(BackendError):
+    """A ``send_batch`` call exceeded the policy's watchdog deadline."""
+
+
+_JITTER_PURPOSE = b"backend-retry-jitter"
+
+
+def _finite(value: float) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative resilience knobs for one scan.
+
+    Frozen, hashable, picklable: it travels inside ``ScanConfig`` to
+    pool workers and into ``config_key`` (so checkpoint resume across a
+    policy change raises ``CheckpointMismatchError``).  With the default
+    ``jitter=0.0`` the backoff schedule is exactly the sharded runner's
+    historical ``min(backoff * 2**attempt, cap)``.
+    """
+
+    #: Retries per batch after the first attempt (0 = fail immediately).
+    max_retries: int = 2
+    #: Base backoff delay in seconds; doubles per retry.
+    backoff: float = 0.05
+    #: Backoff ceiling in seconds.
+    backoff_cap: float = 5.0
+    #: Fraction of each delay that is randomised, in [0, 1].  The draw
+    #: is deterministic (``stable_unit`` keyed by seed/shard/batch/
+    #: attempt), so two runs of the same scan back off identically.
+    jitter: float = 0.0
+    #: Seed for the jitter draws (scans pass their scan seed).
+    seed: int = 0
+    #: Per-batch watchdog deadline in wall seconds; ``None`` disables
+    #: the watchdog thread entirely (direct delegation).
+    timeout: float | None = None
+    #: Windowed batch failure rate in (0, 1] that opens the breaker;
+    #: ``None`` disables the breaker.
+    breaker_threshold: float | None = None
+    #: Sliding window of final batch outcomes the rate is computed over.
+    breaker_window: int = 8
+    #: Minimum outcomes in the window before the breaker may open.
+    breaker_min_batches: int = 4
+    #: Seconds the breaker stays open before a half-open trial.
+    breaker_cooldown: float = 1.0
+    #: Bisect exhausted batches to isolate poison probes, up to this
+    #: many levels deep (0 = quarantine the whole batch at once).
+    max_split_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError("max_retries must be a non-negative integer")
+        if not _finite(self.backoff) or self.backoff < 0:
+            raise ValueError("backoff must be a finite non-negative number")
+        if not _finite(self.backoff_cap) or self.backoff_cap < 0:
+            raise ValueError("backoff_cap must be a finite non-negative number")
+        if not _finite(self.jitter) or not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout is not None and (
+            not _finite(self.timeout) or self.timeout <= 0
+        ):
+            raise ValueError("timeout must be a finite positive number")
+        if self.breaker_threshold is not None and (
+            not _finite(self.breaker_threshold)
+            or not 0.0 < self.breaker_threshold <= 1.0
+        ):
+            raise ValueError("breaker_threshold must be in (0, 1]")
+        if not isinstance(self.breaker_window, int) or self.breaker_window < 1:
+            raise ValueError("breaker_window must be a positive integer")
+        if (
+            not isinstance(self.breaker_min_batches, int)
+            or self.breaker_min_batches < 1
+        ):
+            raise ValueError("breaker_min_batches must be a positive integer")
+        if not _finite(self.breaker_cooldown) or self.breaker_cooldown < 0:
+            raise ValueError(
+                "breaker_cooldown must be a finite non-negative number"
+            )
+        if not isinstance(self.max_split_depth, int) or self.max_split_depth < 0:
+            raise ValueError("max_split_depth must be a non-negative integer")
+
+    def backoff_delay(self, attempt: int, *keys: int) -> float:
+        """Delay before retry ``attempt`` (0-based), in seconds.
+
+        ``min(backoff * 2**attempt, backoff_cap)``, with the last
+        ``jitter`` fraction replaced by a deterministic draw — the delay
+        always lies in ``[base * (1 - jitter), base]`` and never exceeds
+        ``backoff_cap``.
+        """
+        base = min(self.backoff * (2.0**attempt), self.backoff_cap)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        unit = stable_unit(self.seed, _JITTER_PURPOSE, *keys, attempt)
+        return base * (1.0 - self.jitter) + base * self.jitter * unit
+
+
+@dataclass(frozen=True)
+class BackendFault:
+    """One quarantined batch: the honest record of what was given up on."""
+
+    batch: int  # batch ordinal within the scan (0-based)
+    probes: int  # probes quarantined with it
+    attempts: int  # send attempts made before giving up
+    error: str  # last failure, e.g. "InjectedBackendError: ..."
+    reason: str  # "exhausted" or "breaker-open"
+
+
+@dataclass
+class ResilienceStats:
+    """Per-backend resilience counters (picklable; rides ShardOutcome)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    quarantined_batches: int = 0
+    faulted_probes: int = 0
+    breaker_fastfails: int = 0
+    faults: list[BackendFault] = field(default_factory=list)
+    #: Breaker state transitions, as (from_state, to_state) pairs.
+    transitions: list[tuple[str, str]] = field(default_factory=list)
+
+    def empty(self) -> bool:
+        return (
+            self.retries == 0
+            and self.timeouts == 0
+            and self.quarantined_batches == 0
+            and self.faulted_probes == 0
+            and self.breaker_fastfails == 0
+            and not self.faults
+            and not self.transitions
+        )
+
+    def copy(self) -> "ResilienceStats":
+        return replace(
+            self, faults=list(self.faults), transitions=list(self.transitions)
+        )
+
+    def since(self, before: "ResilienceStats") -> "ResilienceStats":
+        """The delta accumulated after ``before`` was snapshotted."""
+        return ResilienceStats(
+            retries=self.retries - before.retries,
+            timeouts=self.timeouts - before.timeouts,
+            quarantined_batches=(
+                self.quarantined_batches - before.quarantined_batches
+            ),
+            faulted_probes=self.faulted_probes - before.faulted_probes,
+            breaker_fastfails=self.breaker_fastfails - before.breaker_fastfails,
+            faults=self.faults[len(before.faults):],
+            transitions=self.transitions[len(before.transitions):],
+        )
+
+
+class CircuitBreaker:
+    """Three-state breaker over a sliding window of final batch outcomes.
+
+    ``closed``: every batch is allowed; once the window holds at least
+    ``min_batches`` outcomes and the failure rate reaches ``threshold``,
+    the breaker opens.  ``open``: batches fail fast (the caller
+    quarantines without touching the backend) until ``cooldown`` seconds
+    pass on the injected clock.  ``half-open``: one trial batch runs;
+    success re-closes, failure re-opens.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float,
+        window: int,
+        min_batches: int,
+        cooldown: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.threshold = threshold
+        self.min_batches = min_batches
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = "closed"
+        self.transitions: list[tuple[str, str]] = []
+        self._window: deque[bool] = deque(maxlen=window)
+        self._open_until = 0.0
+
+    def _move(self, state: str) -> None:
+        self.transitions.append((self.state, state))
+        self.state = state
+
+    def allow(self) -> bool:
+        """Whether the next batch may touch the backend."""
+        if self.state == "open":
+            if self.clock() < self._open_until:
+                return False
+            self._move("half-open")
+        return True
+
+    def record(self, success: bool) -> None:
+        """Record a batch's *final* outcome (after retries/quarantine)."""
+        if self.state == "half-open":
+            if success:
+                self._move("closed")
+                self._window.clear()
+            else:
+                self._move("open")
+                self._open_until = self.clock() + self.cooldown
+            return
+        self._window.append(success)
+        if success or len(self._window) < self.min_batches:
+            return
+        failures = sum(1 for ok in self._window if not ok)
+        if failures / len(self._window) >= self.threshold:
+            self._move("open")
+            self._open_until = self.clock() + self.cooldown
+            self._window.clear()
+
+
+_FAILED = object()  # sentinel: an attempt loop exhausted its retries
+
+
+class ResilientBackend(ProbeBackend):
+    """Wraps any :class:`ProbeBackend` with a :class:`RetryPolicy`.
+
+    Built around a live backend by the scanner (never from a spec):
+    ``spec()`` and every capability/observability surface delegate to
+    the wrapped backend, so the layers above see the inner backend with
+    failure semantics changed underneath.
+    """
+
+    def __init__(
+        self,
+        inner: ProbeBackend,
+        policy: RetryPolicy,
+        *,
+        shard: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        join: Callable[[threading.Thread, float], None] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.shard = shard
+        self.resilience = ResilienceStats()
+        self._sleep = sleep
+        self._join = join if join is not None else threading.Thread.join
+        self._batch_ordinal = -1
+        self._last_error = ""
+        self.breaker = None
+        if policy.breaker_threshold is not None:
+            self.breaker = CircuitBreaker(
+                threshold=policy.breaker_threshold,
+                window=policy.breaker_window,
+                min_batches=policy.breaker_min_batches,
+                cooldown=policy.breaker_cooldown,
+                clock=clock,
+            )
+        # Instance-level capability flags mirror the wrapped backend —
+        # except supports_columns: resilient scans take the send_batch
+        # path (byte-identical output, per-batch rollback).
+        self.name = inner.name
+        self.supports_columns = False
+        self.deterministic = inner.deterministic
+        self.requires_privilege = inner.requires_privilege
+
+    # ---------------- construction ---------------- #
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: BackendSpec,
+        *,
+        world: "World | None" = None,
+        engine=None,
+        epoch: int = 0,
+        defer_rate_limit: bool = False,
+    ) -> "ProbeBackend":
+        raise TypeError(
+            "ResilientBackend wraps a built backend; it is not spec-built "
+            "(the policy rides ScanConfig, not BackendSpec options)"
+        )
+
+    def spec(self) -> BackendSpec:
+        return self.inner.spec()
+
+    # ---------------- lifecycle + delegation ---------------- #
+
+    def open(self) -> None:
+        self.inner.open()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def epoch(self) -> int:
+        return self.inner.epoch
+
+    def new_epoch(self, epoch: int) -> None:
+        self.inner.new_epoch(epoch)
+
+    @property
+    def stats(self) -> "EngineStats":
+        return self.inner.stats
+
+    @property
+    def pending_checks(self) -> list[tuple[float, int]]:
+        return self.inner.pending_checks
+
+    @property
+    def needs_probe_ids(self) -> bool:
+        return self.inner.needs_probe_ids
+
+    @property
+    def engine(self):
+        return getattr(self.inner, "engine", None)
+
+    @property
+    def telemetry(self):
+        return self.inner.telemetry
+
+    @telemetry.setter
+    def telemetry(self, collector) -> None:
+        self.inner.telemetry = collector
+
+    @property
+    def unmatched_replies(self) -> int:
+        return self.inner.unmatched_replies
+
+    def pop_warnings(self) -> list[str]:
+        return self.inner.pop_warnings()
+
+    # ---------------- probing ---------------- #
+
+    def send_batch(
+        self,
+        targets: Sequence[int],
+        times: Sequence[float],
+        *,
+        hop_limit: int = 64,
+        probe_ids: Sequence[int] | None = None,
+    ) -> "list[ProbeResult]":
+        self._batch_ordinal += 1
+        ordinal = self._batch_ordinal
+        if self.breaker is not None and not self.breaker.allow():
+            # Fail fast: the breaker is open, the backend is not touched.
+            self.resilience.breaker_fastfails += 1
+            self._quarantine(ordinal, len(targets), 0, "breaker-open")
+            return self._quiet(targets, times)
+        outcomes, quarantined = self._recover(
+            ordinal,
+            targets,
+            times,
+            hop_limit,
+            probe_ids,
+            retries=self.policy.max_retries,
+            depth=0,
+        )
+        if self.breaker is not None:
+            self.breaker.record(not quarantined)
+            self.resilience.transitions.extend(
+                self.breaker.transitions[
+                    len(self.resilience.transitions):
+                ]
+            )
+        return outcomes
+
+    def _recover(
+        self,
+        ordinal: int,
+        targets: Sequence[int],
+        times: Sequence[float],
+        hop_limit: int,
+        probe_ids: Sequence[int] | None,
+        *,
+        retries: int,
+        depth: int,
+    ) -> tuple["list[ProbeResult]", bool]:
+        """Attempt a (sub-)batch; on exhaustion split or quarantine.
+
+        Returns ``(outcomes, any_quarantined)`` — always one outcome per
+        probe, quiet rows standing in for quarantined ones.
+        """
+        outcomes = self._attempts(
+            ordinal, targets, times, hop_limit, probe_ids, retries
+        )
+        if outcomes is not _FAILED:
+            return outcomes, False
+        if len(targets) > 1 and depth < self.policy.max_split_depth:
+            # Bisect to isolate poison probes: each half gets one shot.
+            mid = len(targets) // 2
+            ids_left = probe_ids[:mid] if probe_ids is not None else None
+            ids_right = probe_ids[mid:] if probe_ids is not None else None
+            left, left_bad = self._recover(
+                ordinal, targets[:mid], times[:mid], hop_limit, ids_left,
+                retries=0, depth=depth + 1,
+            )
+            right, right_bad = self._recover(
+                ordinal, targets[mid:], times[mid:], hop_limit, ids_right,
+                retries=0, depth=depth + 1,
+            )
+            return left + right, left_bad or right_bad
+        self._quarantine(ordinal, len(targets), retries + 1, "exhausted")
+        return self._quiet(targets, times), True
+
+    def _attempts(
+        self,
+        ordinal: int,
+        targets: Sequence[int],
+        times: Sequence[float],
+        hop_limit: int,
+        probe_ids: Sequence[int] | None,
+        retries: int,
+    ):
+        for attempt in range(retries + 1):
+            if attempt:
+                self.resilience.retries += 1
+                delay = self.policy.backoff_delay(
+                    attempt - 1, self.shard, ordinal
+                )
+                if delay > 0:
+                    self._sleep(delay)
+            marker = self._begin_attempt()
+            try:
+                outcomes = self._call(targets, times, hop_limit, probe_ids)
+            except Exception as error:  # noqa: BLE001 — any backend fault
+                self._rollback(marker)
+                self._last_error = f"{type(error).__name__}: {error}"
+                if isinstance(error, BackendTimeoutError):
+                    self.resilience.timeouts += 1
+                continue
+            if len(outcomes) != len(targets):
+                # Short/partial outcome list: a seam-contract violation
+                # (lost alignment would corrupt the merge) — roll back
+                # and retry the whole batch.
+                self._rollback(marker)
+                self._last_error = (
+                    f"short outcome list ({len(outcomes)}/{len(targets)})"
+                )
+                continue
+            return outcomes
+        return _FAILED
+
+    def _call(self, targets, times, hop_limit, probe_ids):
+        if self.policy.timeout is None:
+            return self.inner.send_batch(
+                targets, times, hop_limit=hop_limit, probe_ids=probe_ids
+            )
+        # Watchdog: run the send on a daemon thread and abandon it at
+        # the deadline.  A well-behaved hung call (e.g. FaultyBackend's
+        # injected hang) blocks *before* mutating shared state and
+        # raises when released at close, so abandonment is safe.
+        box: list = []
+
+        def run() -> None:
+            try:
+                box.append((
+                    "ok",
+                    self.inner.send_batch(
+                        targets, times,
+                        hop_limit=hop_limit, probe_ids=probe_ids,
+                    ),
+                ))
+            except BaseException as error:  # noqa: BLE001 — reraised below
+                box.append(("err", error))
+
+        thread = threading.Thread(
+            target=run, name="resilient-send", daemon=True
+        )
+        thread.start()
+        self._join(thread, self.policy.timeout)
+        if not box:
+            raise BackendTimeoutError(
+                f"send_batch exceeded the {self.policy.timeout}s deadline"
+            )
+        kind, value = box[0]
+        if kind == "err":
+            raise value
+        return value
+
+    # ---------------- transactional attempts ---------------- #
+
+    def _begin_attempt(self):
+        stats = self.inner.stats
+        return (
+            {f.name: getattr(stats, f.name) for f in fields(stats)},
+            len(self.inner.pending_checks),
+            self.inner.unmatched_replies,
+        )
+
+    def _rollback(self, marker) -> None:
+        snapshot, check_count, unmatched = marker
+        stats = self.inner.stats
+        for name, value in snapshot.items():
+            setattr(stats, name, value)
+        checks = self.inner.pending_checks
+        del checks[check_count:]
+        self.inner.unmatched_replies = unmatched
+
+    # ---------------- quarantine ---------------- #
+
+    def _quarantine(
+        self, ordinal: int, probes: int, attempts: int, reason: str
+    ) -> None:
+        self.resilience.quarantined_batches += 1
+        self.resilience.faulted_probes += probes
+        self.resilience.faults.append(
+            BackendFault(
+                batch=ordinal,
+                probes=probes,
+                attempts=attempts,
+                error=self._last_error if reason == "exhausted" else reason,
+                reason=reason,
+            )
+        )
+
+    def _quiet(
+        self, targets: Sequence[int], times: Sequence[float]
+    ) -> "list[ProbeResult]":
+        # Quarantined probes become quiet rows — "probed, no reply" —
+        # keeping outcome alignment and `sent` honest while
+        # faulted_probes says how many of those silences were ours.
+        epoch = self.inner.epoch
+        return [
+            ProbeResult(target=target, time=when, epoch=epoch)
+            for target, when in zip(targets, times)
+        ]

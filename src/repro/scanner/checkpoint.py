@@ -150,7 +150,11 @@ def config_key(config: "ScanConfig") -> tuple:
     excluded (they are pinned bit-invariant by the determinism suite).
     The backend rides along as its picklable ``BackendSpec`` — resuming a
     ``wire-sim`` journal with a ``sim`` config (or a different probe key)
-    is a config mismatch like any other.
+    is a config mismatch like any other.  So does the resilience policy:
+    quarantine semantics decide which probes a completed shard gave up
+    on, so resuming across a policy change (or from a policy-less
+    journal into a policy-ful run) must fail loudly, not merge runs with
+    different failure semantics.
     """
     return (
         config.pps,
@@ -158,6 +162,7 @@ def config_key(config: "ScanConfig") -> tuple:
         config.seed,
         config.permute,
         config.backend_spec(),
+        config.retry_policy,
     )
 
 

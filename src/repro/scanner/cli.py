@@ -25,7 +25,12 @@ from ..datasets.tum import harvest_hitlist, published_alias_list
 from ..telemetry.scan import ScanTelemetry
 from ..topology.config import WorldConfig, tiny_config
 from ..topology.generator import build_world
-from .backends import BackendPrivilegeError, RawSocketBackend, backend_names
+from .backends import (
+    BackendPrivilegeError,
+    RawSocketBackend,
+    RetryPolicy,
+    backend_names,
+)
 from .checkpoint import CheckpointError
 from .records import ScanResult, merge_results
 from .sharded import (
@@ -141,6 +146,26 @@ def check_output_paths(paths: "list[tuple[str, str | None]]") -> str | None:
         if not parent.is_dir():
             return f"{flag}: directory {str(parent)!r} does not exist"
     return None
+
+
+def _resilience_policy(args) -> "RetryPolicy | None":
+    """The scan's :class:`RetryPolicy`, or None when no flag asked for one.
+
+    Jitter draws are seeded from the scan seed, so retried runs stay in
+    the same reproducible universe as the probes themselves.
+    """
+    if (
+        args.backend_retries == 0
+        and args.backend_timeout is None
+        and args.breaker_threshold is None
+    ):
+        return None
+    return RetryPolicy(
+        max_retries=args.backend_retries,
+        timeout=args.backend_timeout,
+        breaker_threshold=args.breaker_threshold,
+        seed=args.seed,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -269,6 +294,33 @@ def main(argv: list[str] | None = None) -> int:
         "(bounded exponential backoff) before giving up",
     )
     parser.add_argument(
+        "--backend-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each failed backend batch up to N times (seeded "
+        "deterministic backoff) before splitting/quarantining it; any "
+        "resilience flag wraps the backend in the resilient transport "
+        "layer",
+    )
+    parser.add_argument(
+        "--backend-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-batch watchdog deadline; a hung backend batch is "
+        "recovered and retried (default: no deadline)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="circuit-breaker open threshold as a batch failure rate in "
+        "(0, 1]; an open breaker quarantines batches without probing "
+        "until its cooldown expires (default: no breaker)",
+    )
+    parser.add_argument(
         "--world-artifact",
         metavar="PATH",
         help="stream the world into (or load it from) a binary artifact "
@@ -311,6 +363,20 @@ def main(argv: list[str] | None = None) -> int:
         else None,
         "--max-targets must be >= 0"
         if args.max_targets is not None and args.max_targets < 0
+        else None,
+        "--max-shard-retries must be >= 0"
+        if args.max_shard_retries < 0
+        else None,
+        "--backend-retries must be >= 0"
+        if args.backend_retries < 0
+        else None,
+        "--backend-timeout must be positive"
+        if args.backend_timeout is not None
+        and not args.backend_timeout > 0  # NaN fails this comparison too
+        else None,
+        "--breaker-threshold must be in (0, 1]"
+        if args.breaker_threshold is not None
+        and not 0.0 < args.breaker_threshold <= 1.0  # rejects NaN as well
         else None,
     ):
         if problem is not None:
@@ -361,8 +427,6 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--shards must be >= 1 (or 0 for one per core)")
     if args.progress_every < 0:
         parser.error("--progress-every must be >= 0")
-    if args.max_shard_retries < 0:
-        parser.error("--max-shard-retries must be >= 0")
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint")
     if args.strategy is None:
@@ -434,6 +498,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         progress_every=args.progress_every,
         backend=args.backend,
+        retry_policy=_resilience_policy(args),
     )
     if args.batch_size is not None:
         scan_config = dc_replace(scan_config, batch_size=args.batch_size)
@@ -584,6 +649,7 @@ def _raw_scan(args) -> int:
         progress_every=args.progress_every,
         backend="raw",
         authorized=True,
+        retry_policy=_resilience_policy(args),
     )
     if args.batch_size is not None:
         scan_config = dc_replace(scan_config, batch_size=args.batch_size)
@@ -599,6 +665,10 @@ def _raw_scan(args) -> int:
         return 2
     finally:
         backend.close()
+        # The raw receiver thread can fail to join (a blocked recv):
+        # surface it rather than leak silently.
+        for warning in backend.pop_warnings():
+            print(f"sra-scan: warning: {warning}", file=sys.stderr)
     if telemetry is not None:
         if args.telemetry_out:
             telemetry.write_jsonl(args.telemetry_out)
@@ -661,6 +731,7 @@ def _strategy_scan(world, args) -> int:
                 seed=args.seed + index,
                 progress_every=args.progress_every,
                 backend=args.backend,
+                retry_policy=_resilience_policy(args),
             )
             if args.batch_size is not None:
                 scan_config = dc_replace(

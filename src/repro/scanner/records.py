@@ -200,6 +200,11 @@ class ScanResult:
     # (failed payload auth, unknown probe id).  Always 0 on the pure
     # simulator; the wire backends make this loss visible.
     unmatched_replies: int = 0
+    # Probes quarantined by the resilience layer (ResilientBackend):
+    # counted in `sent` and present as quiet no-reply rows, but their
+    # silence is a transport fault, not a measurement — this counter is
+    # what makes the partial result honest.
+    faulted_probes: int = 0
 
     # ---------------- aggregate counters ---------------- #
 
@@ -307,6 +312,7 @@ def merge_results(name: str, results: Iterable[ScanResult]) -> ScanResult:
         merged.loops_observed += result.loops_observed
         merged.records_streamed += result.records_streamed
         merged.unmatched_replies += result.unmatched_replies
+        merged.faulted_probes += result.faulted_probes
         merged.duration = max(merged.duration, result.duration)
         merged.records.extend(result.records)
         if result.engine_stats is not None:

@@ -38,10 +38,15 @@ from concurrent.futures import (
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..netsim.engine import EngineStats, SimulationEngine
-from ..netsim.faults import ChaosEngine
+
+if TYPE_CHECKING:
+    # Import lazily: netsim.faults imports the backend seam (its
+    # FaultyBackend is a ProbeBackend), so a module-level import here
+    # would be circular.  ChaosEngine is only ever named in annotations.
+    from ..netsim.faults import ChaosEngine
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.scan import (
     HotPathCollector,
@@ -54,7 +59,12 @@ from ..telemetry.scan import (
 )
 from ..topology.artifact import WorldRef, resolve_world_ref, world_payload
 from ..topology.entities import World
-from .backends import backend_class
+from .backends import (
+    ResilienceStats,
+    RetryPolicy,
+    backend_class,
+    build_backend,
+)
 from .checkpoint import (
     ScanCheckpoint,
     config_key,
@@ -166,6 +176,10 @@ class ShardOutcome:
     ring: RingHandle | None = None
     # The worker wanted the ring but had to fall back to pickling.
     ring_fallback: bool = False
+    # Resilience delta (retries/timeouts/quarantines/breaker activity)
+    # when the scan ran under a RetryPolicy; None otherwise.  Picklable —
+    # the parent folds it into ops telemetry after the merge.
+    resilience: "ResilienceStats | None" = None
 
 
 def scan_shard(
@@ -203,13 +217,21 @@ def scan_shard(
         # per-probe target access the plan names.
         chaos.delay_shard(shard)
         targets = chaos.wrap_targets(targets, shard, attempt)
-    # The scanner rebuilds the probe backend from config.backend_spec()
-    # around this deferred engine — the config crossing the pickle
-    # boundary *is* the backend transport, exactly like StreamSpec for
-    # targets and WorldRef for worlds; no live backend is ever pickled.
+    # The backend is rebuilt from config.backend_spec() around this
+    # deferred engine — the config crossing the pickle boundary *is* the
+    # backend transport, exactly like StreamSpec for targets and WorldRef
+    # for worlds; no live backend is ever pickled.  Built explicitly
+    # (rather than inside the scanner) so chaos can interpose transport
+    # faults *under* the resilience wrapper the scanner adds on top —
+    # the layering a flaky NIC would have.
     engine = SimulationEngine(world, epoch=epoch, defer_rate_limit=True)
+    backend = build_backend(
+        config.backend_spec(), world=world, engine=engine, epoch=epoch
+    )
+    if chaos is not None:
+        backend = chaos.wrap_backend(backend, shard)
     scanner = ZMapV6Scanner(
-        engine,
+        backend,
         replace(config, shard=shard, shards=shards),
         capture_telemetry=collect_telemetry,
     )
@@ -228,6 +250,7 @@ def scan_shard(
         checks=list(scanner.backend.pending_checks),
         telemetry=capture,
         shards=shards,
+        resilience=scanner.last_resilience,
     )
 
 
@@ -450,6 +473,15 @@ def _merge_telemetry(
         backend=backend,
         count=merged.unmatched_replies,
     )
+    for outcome in ordered:
+        # Per-shard resilience deltas, in shard order (ops channel only;
+        # None/empty deltas are skipped inside the facade).
+        telemetry.backend_resilience_recorded(
+            scan=name,
+            epoch=epoch,
+            shard=outcome.shard,
+            stats=outcome.resilience,
+        )
 
 
 def _release_ring_futures(futures: Iterable[Future]) -> None:
@@ -565,6 +597,7 @@ class ShardedScanRunner:
         retry_backoff_cap: float = 5.0,
         checkpoint_dir: "str | Path | None" = None,
         chaos: ChaosEngine | None = None,
+        sleep: "Callable[[float], None]" = time.sleep,
     ) -> None:
         if executor not in ("auto", "process", "thread", "serial"):
             raise ValueError(
@@ -583,6 +616,15 @@ class ShardedScanRunner:
         self.max_shard_retries = max_shard_retries
         self.retry_backoff = retry_backoff
         self.retry_backoff_cap = retry_backoff_cap
+        # Injectable so fault-injection tests drive the retry loop in
+        # zero wall-time; the schedule itself comes from RetryPolicy's
+        # backoff math (jitter 0 = the historical formula, bit for bit).
+        self._sleep = sleep
+        self._retry_schedule = RetryPolicy(
+            max_retries=max_shard_retries,
+            backoff=retry_backoff,
+            backoff_cap=retry_backoff_cap,
+        )
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
@@ -1025,12 +1067,9 @@ class ShardedScanRunner:
                         )
                     pending.append(shard)
                 if pending:
-                    delay = min(
-                        self.retry_backoff * (2**round_index),
-                        self.retry_backoff_cap,
-                    )
+                    delay = self._retry_schedule.backoff_delay(round_index)
                     if delay > 0:
-                        time.sleep(delay)
+                        self._sleep(delay)
                     round_index += 1
 
         merged = merge_shard_outcomes(

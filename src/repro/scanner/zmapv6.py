@@ -44,7 +44,15 @@ from ..telemetry.scan import (
     populate_registry,
     record_metrics,
 )
-from .backends import BackendSpec, ProbeBackend, build_backend, make_backend_spec
+from .backends import (
+    BackendSpec,
+    ProbeBackend,
+    ResilienceStats,
+    ResilientBackend,
+    RetryPolicy,
+    build_backend,
+    make_backend_spec,
+)
 from .records import ScanRecord, ScanResult
 from .stream import IndexWindow, RecordSink, shard_positions, stream_buffered
 
@@ -82,10 +90,20 @@ class ScanConfig:
     # Explicit authorization for backends that probe real networks
     # (--i-am-authorized); ignored by the simulated backends.
     authorized: bool = False
+    # Backend-level resilience (retry/timeout/backoff, circuit breaker,
+    # quarantine): when set, the scanner wraps its backend in a
+    # ResilientBackend.  Rides this config across pickle boundaries to
+    # pool workers and into the checkpoint config key; None (default)
+    # keeps the pre-resilience failure semantics, byte for byte.
+    retry_policy: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.pps <= 0:
             raise ValueError("pps must be positive")
+        if self.retry_policy is not None and not isinstance(
+            self.retry_policy, RetryPolicy
+        ):
+            raise ValueError("retry_policy must be a RetryPolicy (or None)")
         if not 1 <= self.hop_limit <= 255:
             raise ValueError("hop_limit must be in [1, 255]")
         if self.shards < 1:
@@ -162,11 +180,17 @@ class ZMapV6Scanner:
                 world=engine.world,
                 engine=engine,
             )
+        policy = self.config.retry_policy
+        if policy is not None and not isinstance(self.backend, ResilientBackend):
+            self.backend = ResilientBackend(
+                self.backend, policy, shard=self.config.shard
+            )
         # Back-compat alias: simulated backends expose the engine they
         # wrap; wire backends have none.
         self.engine = getattr(self.backend, "engine", None)
         self.telemetry = telemetry
         self.capture_telemetry = capture_telemetry or telemetry is not None
+        self.last_resilience: ResilienceStats | None = None
         self.last_capture: ShardTelemetry | None = None
         self._capture: ShardTelemetry | None = None
         self._emit: Callable[[ScanRecord], None] | None = None
@@ -205,6 +229,11 @@ class ZMapV6Scanner:
             target_list = list(targets)
         result = ScanResult(name=name, epoch=backend.epoch)
         unmatched_before = backend.unmatched_replies
+        resilience_before = (
+            backend.resilience.copy()
+            if isinstance(backend, ResilientBackend)
+            else None
+        )
         capture: ShardTelemetry | None = None
         collector: HotPathCollector | None = None
         if self.capture_telemetry:
@@ -241,6 +270,12 @@ class ZMapV6Scanner:
         result.duration = (last_position + 1) / config.pps if sent else 0.0
         result.engine_stats = replace(backend.stats)
         result.unmatched_replies = backend.unmatched_replies - unmatched_before
+        if resilience_before is not None:
+            delta = backend.resilience.since(resilience_before)
+            result.faulted_probes = delta.faulted_probes
+            self.last_resilience = delta
+        else:
+            self.last_resilience = None
         if capture is not None and collector is not None:
             capture.first_loop = dict(collector.first_loop)
             capture.first_suppressed = dict(collector.first_suppressed)
@@ -276,6 +311,19 @@ class ZMapV6Scanner:
                     backend=backend.name,
                     count=result.unmatched_replies,
                 )
+                self.telemetry.backend_resilience_recorded(
+                    scan=name,
+                    epoch=result.epoch,
+                    shard=config.shard,
+                    stats=self.last_resilience,
+                )
+                for message in backend.pop_warnings():
+                    self.telemetry.backend_warning_recorded(
+                        scan=name,
+                        epoch=result.epoch,
+                        backend=backend.name,
+                        message=message,
+                    )
         return result
 
     def _record_emitter(

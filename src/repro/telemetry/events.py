@@ -73,6 +73,11 @@ EVENT_TYPES = (
     "ring_stats",
     "backend_selected",
     "unmatched_replies",
+    # resilient transport (retry / breaker / quarantine) stream
+    "backend_resilience",
+    "breaker_transition",
+    "batch_quarantined",
+    "backend_warning",
 )
 
 __all__ = [

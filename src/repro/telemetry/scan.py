@@ -43,8 +43,14 @@ if TYPE_CHECKING:  # telemetry stays import-light; scans are duck-typed
 
 __all__ = [
     "AMPLIFICATION_EDGES",
+    "BACKEND_RETRIES_TOTAL",
     "BACKEND_SCANS_TOTAL",
+    "BACKEND_TIMEOUTS_TOTAL",
+    "BACKEND_WARNINGS_TOTAL",
+    "BREAKER_TRANSITIONS_TOTAL",
     "CHECKPOINTS_TOTAL",
+    "FAULTED_PROBES_TOTAL",
+    "QUARANTINED_BATCHES_TOTAL",
     "ENGINE_STAT_COUNTERS",
     "RECORDS_BUFFERED_GAUGE",
     "REPLY_VTIME_EDGES",
@@ -137,6 +143,16 @@ SHARDS_SALVAGED_TOTAL = "sra_scan_shards_salvaged_total"
 # deterministic outcome of a sim/wire-sim scan is identical either way).
 BACKEND_SCANS_TOTAL = "sra_scan_backend_scans_total"
 UNMATCHED_REPLIES_TOTAL = "sra_scan_unmatched_replies_total"
+# Backend-resilience counters (ops-channel: retries, watchdog timeouts,
+# breaker trips, and quarantines describe how this process fought its
+# transport, not what the scan found — a retried run's main channel is
+# byte-identical to a fault-free one's).
+BACKEND_RETRIES_TOTAL = "sra_scan_backend_retries_total"
+BACKEND_TIMEOUTS_TOTAL = "sra_scan_backend_timeouts_total"
+QUARANTINED_BATCHES_TOTAL = "sra_scan_quarantined_batches_total"
+FAULTED_PROBES_TOTAL = "sra_scan_faulted_probes_total"
+BREAKER_TRANSITIONS_TOTAL = "sra_scan_breaker_transitions_total"
+BACKEND_WARNINGS_TOTAL = "sra_scan_backend_warnings_total"
 # Shared-memory shard-transport counters (also ops-channel: they describe
 # how this process moved bytes, not what the scan found).  Names mirror
 # RingStats fields: sra_scan_ring_<field>_total.
@@ -673,6 +689,109 @@ class ScanTelemetry:
             UNMATCHED_REPLIES_TOTAL,
             "inbound replies that failed probe matching (auth or id)",
         ).inc(count)
+
+    def backend_resilience_recorded(
+        self, *, scan: str, epoch: int, shard: int, stats
+    ) -> None:
+        """Fold one scan's resilience deltas into the ops channel.
+
+        ``stats`` is a (duck-typed) :class:`~repro.scanner.backends.\
+        resilient.ResilienceStats` delta: one ``backend_resilience``
+        summary event plus one ``breaker_transition`` event per breaker
+        state change and one ``batch_quarantined`` event per
+        :class:`BackendFault`, with matching ``sra_scan_*`` counters.
+        ``None``/empty deltas are skipped — the ``ring_stats_updated``
+        idiom — so scans without a policy (and policy-wrapped scans that
+        never saw a fault) leave the ops export byte-identical.
+        """
+        if stats is None or stats.empty():
+            return
+        self.emit_ops(
+            make_event(
+                "backend_resilience",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                shard=shard,
+                retries=stats.retries,
+                timeouts=stats.timeouts,
+                quarantined_batches=stats.quarantined_batches,
+                faulted_probes=stats.faulted_probes,
+                breaker_fastfails=stats.breaker_fastfails,
+            )
+        )
+        for from_state, to_state in stats.transitions:
+            self.emit_ops(
+                make_event(
+                    "breaker_transition",
+                    scan=scan,
+                    epoch=epoch,
+                    vtime=0.0,
+                    shard=shard,
+                    from_state=from_state,
+                    to_state=to_state,
+                )
+            )
+        for fault in stats.faults:
+            self.emit_ops(
+                make_event(
+                    "batch_quarantined",
+                    scan=scan,
+                    epoch=epoch,
+                    vtime=0.0,
+                    shard=shard,
+                    batch=fault.batch,
+                    probes=fault.probes,
+                    attempts=fault.attempts,
+                    reason=fault.reason,
+                    error=fault.error,
+                )
+            )
+        ops = self.ops_registry
+        if stats.retries:
+            ops.counter(
+                BACKEND_RETRIES_TOTAL, "probe batches retried by the backend"
+            ).inc(stats.retries)
+        if stats.timeouts:
+            ops.counter(
+                BACKEND_TIMEOUTS_TOTAL,
+                "probe batches abandoned at the watchdog deadline",
+            ).inc(stats.timeouts)
+        if stats.quarantined_batches:
+            ops.counter(
+                QUARANTINED_BATCHES_TOTAL,
+                "probe batches quarantined after exhausting retries",
+            ).inc(stats.quarantined_batches)
+        if stats.faulted_probes:
+            ops.counter(
+                FAULTED_PROBES_TOTAL,
+                "probes quarantined as BackendFault outcomes",
+            ).inc(stats.faulted_probes)
+        if stats.transitions:
+            ops.counter(
+                BREAKER_TRANSITIONS_TOTAL,
+                "circuit breaker state transitions",
+            ).inc(len(stats.transitions))
+
+    def backend_warning_recorded(
+        self, *, scan: str, epoch: int, backend: str, message: str
+    ) -> None:
+        """Surface a backend's operational warning (e.g. a receiver
+        thread that refused to join) on the ops channel instead of
+        letting it vanish."""
+        self.emit_ops(
+            make_event(
+                "backend_warning",
+                scan=scan,
+                epoch=epoch,
+                vtime=0.0,
+                backend=backend,
+                message=message,
+            )
+        )
+        self.ops_registry.counter(
+            BACKEND_WARNINGS_TOTAL, "operational warnings raised by backends"
+        ).inc()
 
     def ring_stats_updated(
         self, *, scan: str, epoch: int, stats: dict[str, int]

@@ -41,9 +41,12 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.netsim.faults import ChaosEngine, FaultPlan, FaultyBackend
 from repro.scanner.backends import (
     BackendAuthorizationError,
     ProbeBackend,
+    ResilientBackend,
+    RetryPolicy,
     backend_class,
     backend_names,
     build_backend,
@@ -105,12 +108,21 @@ def _world_targets(world, count: int = 64) -> list[int]:
     )
 
 
-def _scan_output(world, backend_name: str, shards: int):
-    """(records, main telemetry, Prometheus) of one sharded scan."""
+def _scan_output(
+    world,
+    backend_name: str,
+    shards: int,
+    *,
+    retry_policy: "RetryPolicy | None" = None,
+    chaos: "ChaosEngine | None" = None,
+):
+    """(records, main telemetry, Prometheus, result, telemetry facade) of
+    one sharded scan — optionally under a resilience policy and a chaos
+    plan (the first three entries are the byte-identity surfaces)."""
     targets = _world_targets(world, 96)
     telemetry = ScanTelemetry()
     runner = ShardedScanRunner(
-        world, shards=shards, executor="thread", telemetry=telemetry
+        world, shards=shards, executor="thread", telemetry=telemetry, chaos=chaos
     )
     result = runner.scan(
         targets,
@@ -119,13 +131,14 @@ def _scan_output(world, backend_name: str, shards: int):
             seed=CASE_SEED,
             backend=backend_name,
             progress_every=25,
+            retry_policy=retry_policy,
         ),
         name="backend-contract",
         epoch=CASE_EPOCH + 100,
     )
     records = "".join(record_jsonl_line(r) for r in result.records)
     assert records, "vacuous comparison: the contract scan got no replies"
-    return records, telemetry.to_jsonl(), telemetry.to_prometheus()
+    return records, telemetry.to_jsonl(), telemetry.to_prometheus(), result, telemetry
 
 
 class BackendContract:
@@ -214,3 +227,148 @@ class BackendContract:
         assert got[0] == baseline[0], "records diverged from sim"
         assert got[1] == baseline[1], "telemetry events diverged from sim"
         assert got[2] == baseline[2], "Prometheus output diverged from sim"
+
+    # -- resilience layer: every backend enrols under chaos -- #
+
+    def _chaos_skip(self, backend_case):
+        if not backend_case.probes:
+            pytest.skip("privileged backend: spec/validation only")
+        if not backend_class(backend_case.name).deterministic:
+            pytest.skip("non-deterministic backend")
+
+    @pytest.mark.parametrize("shards", (1, 4, 8))
+    def test_resilient_wrapper_is_identity(
+        self, backend_case, tiny_world, shards
+    ):
+        """With no injected faults the resilience wrapper changes nothing:
+        records, main telemetry, and Prometheus are byte-identical to the
+        policy-less scan at every shard count."""
+        self._chaos_skip(backend_case)
+        policy = RetryPolicy(
+            max_retries=2, timeout=30.0, breaker_threshold=0.5
+        )
+        baseline = _scan_output(tiny_world, backend_case.name, shards)
+        got = _scan_output(
+            tiny_world, backend_case.name, shards, retry_policy=policy
+        )
+        assert got[0] == baseline[0], "records changed under the wrapper"
+        assert got[1] == baseline[1], "telemetry changed under the wrapper"
+        assert got[2] == baseline[2], "Prometheus changed under the wrapper"
+        assert got[3].faulted_probes == 0
+
+    def test_transient_faults_reproduce_fault_free_bytes(
+        self, backend_case, tiny_world, tmp_path
+    ):
+        """Retried transient transport faults leave no trace on the
+        deterministic surfaces: the record stream, main telemetry, and
+        Prometheus export equal the fault-free run's, byte for byte."""
+        self._chaos_skip(backend_case)
+        policy = RetryPolicy(max_retries=3, backoff=0.0, seed=CASE_SEED)
+        chaos = ChaosEngine(
+            FaultPlan(
+                seed=CASE_SEED,
+                backend_error_probability=0.9,
+                backend_error_attempts=1,
+            )
+        )
+        baseline = _scan_output(
+            tiny_world, backend_case.name, 4, retry_policy=policy
+        )
+        got = _scan_output(
+            tiny_world, backend_case.name, 4, retry_policy=policy, chaos=chaos
+        )
+        telemetry = got[4]
+        # Ops stream to disk first: CI uploads *.ops.jsonl on failure.
+        telemetry.write_ops_jsonl(
+            tmp_path / f"{backend_case.name}-transient.ops.jsonl"
+        )
+        assert got[0] == baseline[0], "records diverged under transient faults"
+        assert got[1] == baseline[1], "telemetry diverged under transient faults"
+        assert got[2] == baseline[2], "Prometheus diverged under transient faults"
+        assert got[3].faulted_probes == 0
+        # Non-vacuity: the chaos plan really injected (and the resilience
+        # layer really retried) — visible on the ops channel only.
+        ops = telemetry.to_ops_jsonl()
+        assert '"backend_resilience"' in ops
+
+    def test_permanent_faults_quarantine_honestly(
+        self, backend_case, tiny_world, tmp_path
+    ):
+        """A permanently-dead shard transport quarantines instead of
+        killing the scan: the run completes, the dead shard's probes are
+        quiet rows counted by ``faulted_probes``, and the quarantine is
+        visible on the ops channel."""
+        self._chaos_skip(backend_case)
+        policy = RetryPolicy(max_retries=1, backoff=0.0, seed=CASE_SEED)
+        chaos = ChaosEngine(
+            FaultPlan(
+                seed=CASE_SEED,
+                backend_error_shard=2,
+                backend_error_attempts=None,
+            )
+        )
+        records, _, _, result, telemetry = _scan_output(
+            tiny_world, backend_case.name, 4, retry_policy=policy, chaos=chaos
+        )
+        telemetry.write_ops_jsonl(
+            tmp_path / f"{backend_case.name}-permanent.ops.jsonl"
+        )
+        assert result.sent == 96, "quarantined probes must stay counted"
+        assert result.faulted_probes == 24, "one dead shard of four"
+        ops = telemetry.to_ops_jsonl()
+        assert '"batch_quarantined"' in ops
+        assert '"reason":"exhausted"' in ops
+
+    def test_breaker_cycles_open_half_open_closed(
+        self, backend_case, tiny_world
+    ):
+        """The circuit breaker walks its full state cycle over a transport
+        that recovers: consecutive failures open it, the next batch
+        fast-fails without touching the transport, cooldown expiry admits
+        a half-open trial, and its success closes the breaker."""
+        self._chaos_skip(backend_case)
+        inner = _build(backend_case, tiny_world)
+        faulty = FaultyBackend(
+            inner,
+            FaultPlan(backend_error_batches=2, backend_error_attempts=None),
+        )
+        clock = [0.0]
+        policy = RetryPolicy(
+            max_retries=0,
+            backoff=0.0,
+            max_split_depth=0,
+            breaker_threshold=0.5,
+            breaker_window=4,
+            breaker_min_batches=2,
+            breaker_cooldown=10.0,
+        )
+        backend = ResilientBackend(
+            faulty, policy, sleep=lambda _delay: None, clock=lambda: clock[0]
+        )
+        backend.open()
+        try:
+            backend.new_epoch(CASE_EPOCH)
+            targets = _world_targets(tiny_world, 16)
+            batches = [targets[i : i + 4] for i in range(0, 16, 4)]
+            times = [0.0, 0.001, 0.002, 0.003]
+            outcomes = [backend.send_batch(batches[0], times)]
+            assert backend.breaker.state == "closed"
+            outcomes.append(backend.send_batch(batches[1], times))
+            assert backend.breaker.state == "open"
+            # Open breaker: quarantined without touching the transport.
+            outcomes.append(backend.send_batch(batches[2], times))
+            assert backend.resilience.breaker_fastfails == 1
+            # Cooldown expiry -> half-open trial -> success closes it.
+            clock[0] = 100.0
+            outcomes.append(backend.send_batch(batches[3], times))
+            assert backend.breaker.state == "closed"
+            assert backend.resilience.transitions == [
+                ("closed", "open"),
+                ("open", "half-open"),
+                ("half-open", "closed"),
+            ]
+            assert [len(batch) for batch in outcomes] == [4, 4, 4, 4]
+            assert backend.resilience.faulted_probes == 12
+            assert backend.resilience.quarantined_batches == 3
+        finally:
+            backend.close()
